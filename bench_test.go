@@ -1,0 +1,80 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (DESIGN.md §3 maps each to its modules). Each
+// benchmark regenerates the artifact at Fast scale; run a single one with
+//
+//	go test -bench=BenchmarkFigure17a -benchtime=1x .
+//
+// and everything with
+//
+//	go test -bench=. -benchmem .
+//
+// The heavy accuracy benchmarks take 10-170 s per iteration, so the
+// default 1 s benchtime executes them exactly once. Kernel-level
+// micro-benchmarks live next to their packages (internal/sdtw,
+// internal/hw, internal/align, ...).
+package squigglefilter
+
+import (
+	"io"
+	"testing"
+
+	"squigglefilter/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(experiments.Fast, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)    { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)    { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)    { benchExperiment(b, "table4") }
+func BenchmarkFigure2(b *testing.B)   { benchExperiment(b, "fig2") }
+func BenchmarkFigure5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFigure6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFigure10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFigure11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFigure16(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkFigure17a(b *testing.B) { benchExperiment(b, "fig17a") }
+func BenchmarkFigure17b(b *testing.B) { benchExperiment(b, "fig17b") }
+func BenchmarkFigure17c(b *testing.B) { benchExperiment(b, "fig17c") }
+func BenchmarkFigure18(b *testing.B)  { benchExperiment(b, "fig18") }
+func BenchmarkFigure19(b *testing.B)  { benchExperiment(b, "fig19") }
+func BenchmarkFigure20(b *testing.B)  { benchExperiment(b, "fig20") }
+func BenchmarkFigure21(b *testing.B)  { benchExperiment(b, "fig21") }
+func BenchmarkHeadline(b *testing.B)  { benchExperiment(b, "headline") }
+
+// BenchmarkDetectorClassify measures the public API's software
+// classification path at the paper's default operating point
+// (2,000-sample prefix against a SARS-CoV-2-scale reference).
+func BenchmarkDetectorClassify(b *testing.B) {
+	det, g := testDetector(b, nil)
+	targets, _ := simReads(b, g, 1)
+	samples := targets[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Classify(samples)
+	}
+}
+
+// BenchmarkDetectorClassifyHW measures the cycle-accurate hardware model
+// on the same operating point.
+func BenchmarkDetectorClassifyHW(b *testing.B) {
+	det, g := testDetector(b, nil)
+	targets, _ := simReads(b, g, 1)
+	samples := targets[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.ClassifyHW(samples)
+	}
+}

@@ -1,0 +1,58 @@
+// Command datagen synthesizes a metagenomic squiggle dataset and writes it
+// as a SQGL file for cmd/sfrun.
+//
+//	datagen -out sample.sqgl -reads 200 -viral-fraction 0.05 -genome 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"squigglefilter/internal/genome"
+	"squigglefilter/internal/pore"
+	"squigglefilter/internal/sigio"
+	"squigglefilter/internal/squiggle"
+)
+
+func main() {
+	out := flag.String("out", "sample.sqgl", "output file")
+	refOut := flag.String("ref-out", "", "optionally write the target reference sequence (ACGT text) here")
+	numReads := flag.Int("reads", 200, "number of reads")
+	viralFraction := flag.Float64("viral-fraction", 0.01, "target-read proportion")
+	genomeLen := flag.Int("genome", 10000, "target genome length (bases)")
+	hostLen := flag.Int("host", 500000, "host genome length (bases)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	target := &genome.Genome{Name: "target", Seq: genome.Random(rand.New(rand.NewSource(*seed)), *genomeLen)}
+	host := &genome.Genome{Name: "host", Seq: genome.Random(rand.New(rand.NewSource(*seed+1)), *hostLen)}
+	sim, err := squiggle.NewSimulator(pore.DefaultModel(), squiggle.DefaultConfig(), *seed+2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reads := sim.GenerateSample(squiggle.DefaultSampleSpec(target, host, *viralFraction, *numReads))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := sigio.Write(f, reads); err != nil {
+		log.Fatal(err)
+	}
+	if *refOut != "" {
+		if err := os.WriteFile(*refOut, []byte(target.Seq.String()+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	nTarget := 0
+	for _, r := range reads {
+		if r.Target {
+			nTarget++
+		}
+	}
+	fmt.Printf("wrote %d reads (%d target) to %s\n", len(reads), nTarget, *out)
+}

@@ -1,0 +1,58 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all            # everything, fast scale
+//	experiments -run fig17a         # one artifact
+//	experiments -run fig18 -scale full
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"squigglefilter/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (see -list) or 'all'")
+	scaleFlag := flag.String("scale", "fast", "dataset scale: fast or full")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var selected []experiments.Experiment
+	if *run == "all" {
+		selected = experiments.Registry
+	} else {
+		e, ok := experiments.Find(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+			os.Exit(2)
+		}
+		selected = []experiments.Experiment{e}
+	}
+	for _, e := range selected {
+		fmt.Printf("=== %s: %s (scale=%s)\n", e.ID, e.Title, scale)
+		start := time.Now()
+		if err := e.Run(scale, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %.1fs\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

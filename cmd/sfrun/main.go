@@ -1,0 +1,84 @@
+// Command sfrun classifies a SQGL dataset against a reference with the
+// SquiggleFilter and reports the confusion matrix.
+//
+//	sfrun -data sample.sqgl -ref ref.txt [-threshold N] [-prefix 2000]
+//
+// Without -threshold, the threshold is calibrated on the dataset's ground
+// truth (best F1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"squigglefilter"
+	"squigglefilter/internal/metrics"
+	"squigglefilter/internal/sigio"
+)
+
+func main() {
+	dataPath := flag.String("data", "", "SQGL dataset (from cmd/datagen)")
+	refPath := flag.String("ref", "", "reference sequence file (ACGT text)")
+	threshold := flag.Int("threshold", 0, "ejection threshold (0 = calibrate on ground truth)")
+	prefix := flag.Int("prefix", 2000, "prefix samples per decision")
+	flag.Parse()
+	if *dataPath == "" || *refPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	refText, err := os.ReadFile(*refPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	reads, err := sigio.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	det, err := squigglefilter.NewDetector(squigglefilter.DetectorConfig{
+		Name:     "target",
+		Sequence: strings.TrimSpace(string(refText)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	th := int32(*threshold)
+	if th == 0 {
+		var targets, hosts [][]int16
+		for _, r := range reads {
+			if r.Target {
+				targets = append(targets, r.Samples)
+			} else {
+				hosts = append(hosts, r.Samples)
+			}
+		}
+		var tpr, fpr float64
+		th, tpr, fpr = det.CalibrateThreshold(targets, hosts, *prefix)
+		fmt.Printf("calibrated threshold %d (TPR %.3f, FPR %.3f)\n", th, tpr, fpr)
+	}
+
+	det2, err := squigglefilter.NewDetector(squigglefilter.DetectorConfig{
+		Name:     "target",
+		Sequence: strings.TrimSpace(string(refText)),
+		Stages:   []squigglefilter.Stage{{PrefixSamples: *prefix, Threshold: th}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cm metrics.Confusion
+	for _, r := range reads {
+		v := det2.Classify(r.Samples)
+		cm.Add(r.Target, v.Decision == squigglefilter.Accept)
+	}
+	fmt.Printf("classified %d reads at prefix %d: %s\n", len(reads), *prefix, cm)
+}

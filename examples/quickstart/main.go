@@ -1,0 +1,61 @@
+// Quickstart: program a detector with a reference genome, classify raw
+// squiggles, and inspect the accelerator's performance envelope.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"squigglefilter"
+	"squigglefilter/internal/genome"
+	"squigglefilter/internal/pore"
+	"squigglefilter/internal/squiggle"
+)
+
+func main() {
+	// A synthetic 8 kb virus stands in for a real reference; any ACGT
+	// string up to ~50 kb works (paper Figure 10's epidemic envelope).
+	virus := &genome.Genome{Name: "demo-virus", Seq: genome.Random(rand.New(rand.NewSource(1)), 8000)}
+
+	det, err := squigglefilter.NewDetector(squigglefilter.DetectorConfig{
+		Name:     virus.Name,
+		Sequence: virus.Seq.String(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate one viral and one host read arriving at a pore.
+	sim, err := squiggle.NewSimulator(pore.DefaultModel(), squiggle.DefaultConfig(), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	host := &genome.Genome{Name: "host", Seq: genome.Random(rand.New(rand.NewSource(3)), 100000)}
+	viralRead := sim.ReadFrom(virus, 1200, 900, false)
+	hostRead := sim.ReadFrom(host, 40000, 900, true)
+
+	for _, read := range []struct {
+		name    string
+		samples []int16
+	}{
+		{"viral read", viralRead.Samples},
+		{"host read", hostRead.Samples},
+	} {
+		v := det.Classify(read.samples)
+		fmt.Printf("%-11s -> %-8s (sDTW cost %6d after %d samples)\n",
+			read.name, v.Decision, v.Cost, v.SamplesUsed)
+	}
+
+	// The same decision on the cycle-accurate hardware model.
+	hv := det.ClassifyHW(viralRead.Samples)
+	fmt.Printf("hardware:    %-8s in %d cycles = %v\n", hv.Decision, hv.Cycles, hv.Latency)
+
+	p := det.Performance()
+	fmt.Printf("\naccelerator envelope for %q (%d reference samples):\n",
+		det.Name(), det.ReferenceSamples())
+	fmt.Printf("  per-read latency      %v\n", p.LatencyPerRead)
+	fmt.Printf("  device throughput     %.1f M samples/s (%.0fx MinION headroom)\n",
+		p.DeviceSamplesPerSec/1e6, p.SequencerHeadroom)
+	fmt.Printf("  5-tile ASIC           %.2f mm2, %.2f W\n", p.AreaMM2, p.PowerW)
+}

@@ -1,0 +1,244 @@
+// Package align is this repository's stand-in for MiniMap2 in the baseline
+// Read Until pipeline: a minimizer-seeded, chain-scored, band-extended
+// read-to-reference aligner. It provides
+//
+//   - classification mapping (Index.Map): does this basecalled prefix align
+//     to the target genome, and how confidently? — the baseline classifier
+//     of Figure 17a;
+//   - base-level alignment (BandedGlobal): the substitution-resolved
+//     alignment consumed by the variant caller (Table 2).
+//
+// The algorithmic family matches MiniMap2 (minimizer seeds → diagonal
+// chaining → banded DP extension), scaled down to the ≤100 kb genomes this
+// system targets.
+package align
+
+import (
+	"math/rand"
+	"sort"
+
+	"squigglefilter/internal/genome"
+)
+
+// IndexConfig tunes seeding. Defaults suit ~90% identity basecalls against
+// viral-scale references.
+type IndexConfig struct {
+	// K is the seed k-mer length.
+	K int
+	// W is the minimizer window: one seed is kept per W consecutive
+	// k-mers.
+	W int
+	// BandWidth is the diagonal tolerance when chaining anchors.
+	BandWidth int
+}
+
+// DefaultIndexConfig returns the repository-standard seeding parameters.
+func DefaultIndexConfig() IndexConfig {
+	return IndexConfig{K: 13, W: 5, BandWidth: 48}
+}
+
+// Index is a minimizer index over both strands of a reference genome.
+type Index struct {
+	cfg    IndexConfig
+	name   string
+	ref    genome.Sequence // forward strand ++ reverse complement
+	fwdLen int
+	seeds  map[uint64][]int32
+}
+
+// BuildIndex indexes g on both strands.
+func BuildIndex(g *genome.Genome, cfg IndexConfig) *Index {
+	if cfg.K <= 0 || cfg.K > 31 {
+		cfg = DefaultIndexConfig()
+	}
+	rc := g.Seq.ReverseComplement()
+	ref := make(genome.Sequence, 0, 2*len(g.Seq))
+	ref = append(ref, g.Seq...)
+	ref = append(ref, rc...)
+	ix := &Index{
+		cfg:    cfg,
+		name:   g.Name,
+		ref:    ref,
+		fwdLen: len(g.Seq),
+		seeds:  make(map[uint64][]int32),
+	}
+	for _, mz := range minimizers(ref, cfg.K, cfg.W) {
+		ix.seeds[mz.hash] = append(ix.seeds[mz.hash], int32(mz.pos))
+	}
+	return ix
+}
+
+// Name returns the indexed genome's name.
+func (ix *Index) Name() string { return ix.name }
+
+// NumSeeds returns the number of distinct minimizer values.
+func (ix *Index) NumSeeds() int { return len(ix.seeds) }
+
+type minimizer struct {
+	hash uint64
+	pos  int
+}
+
+// minimizers computes the (w,k)-minimizer sketch of seq.
+func minimizers(seq genome.Sequence, k, w int) []minimizer {
+	n := len(seq) - k + 1
+	if n <= 0 {
+		return nil
+	}
+	hashes := make([]uint64, n)
+	var kmer uint64
+	mask := uint64(1)<<(2*k) - 1
+	for i := 0; i < len(seq); i++ {
+		kmer = (kmer<<2 | uint64(seq[i].Code())) & mask
+		if i >= k-1 {
+			hashes[i-k+1] = splitmix(kmer)
+		}
+	}
+	var out []minimizer
+	lastPos := -1
+	for start := 0; start < n; start += 1 {
+		end := start + w
+		if end > n {
+			end = n
+		}
+		best, bestPos := hashes[start], start
+		for i := start + 1; i < end; i++ {
+			if hashes[i] < best {
+				best, bestPos = hashes[i], i
+			}
+		}
+		if bestPos != lastPos {
+			out = append(out, minimizer{hash: best, pos: bestPos})
+			lastPos = bestPos
+		}
+		if end == n {
+			break
+		}
+	}
+	return out
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mapping is the result of aligning a query against the index.
+type Mapping struct {
+	// Mapped reports whether any chain was found at all.
+	Mapped bool
+	// Score is the best chain's anchor count — the classification
+	// confidence (0 when unmapped).
+	Score int
+	// MapQ estimates mapping quality from the gap between the best and
+	// second-best chains, capped at 60 like conventional aligners.
+	MapQ int
+	// RefStart/RefEnd delimit the approximate alignment span on the
+	// forward strand of the original genome.
+	RefStart, RefEnd int
+	// Reverse reports the strand.
+	Reverse bool
+}
+
+// Map chains the query's minimizer hits and returns the best mapping.
+func (ix *Index) Map(query genome.Sequence) Mapping {
+	qmz := minimizers(query, ix.cfg.K, ix.cfg.W)
+	type anchor struct{ qpos, rpos int }
+	var anchors []anchor
+	for _, mz := range qmz {
+		for _, rpos := range ix.seeds[mz.hash] {
+			anchors = append(anchors, anchor{qpos: mz.pos, rpos: int(rpos)})
+		}
+	}
+	if len(anchors) == 0 {
+		return Mapping{}
+	}
+	// Bucket anchors by diagonal; the best chain is the densest pair of
+	// adjacent buckets (anchors of one alignment share a diagonal up to
+	// indel drift).
+	bw := ix.cfg.BandWidth
+	buckets := make(map[int][]anchor)
+	for _, a := range anchors {
+		buckets[(a.rpos-a.qpos)/bw] = append(buckets[(a.rpos-a.qpos)/bw], a)
+	}
+	bestScore, secondScore := 0, 0
+	var bestAnchors []anchor
+	for d, as := range buckets {
+		score := len(as) + len(buckets[d+1])
+		if score > bestScore {
+			secondScore = bestScore
+			bestScore = score
+			bestAnchors = append(append([]anchor{}, as...), buckets[d+1]...)
+		} else if score > secondScore {
+			secondScore = score
+		}
+	}
+	sort.Slice(bestAnchors, func(i, j int) bool { return bestAnchors[i].rpos < bestAnchors[j].rpos })
+	lo := bestAnchors[0]
+	hi := bestAnchors[len(bestAnchors)-1]
+	m := Mapping{
+		Mapped: true,
+		Score:  bestScore,
+		MapQ:   mapq(bestScore, secondScore),
+	}
+	// Translate concatenated coordinates back to the forward strand.
+	start := lo.rpos - lo.qpos
+	end := hi.rpos + (len(query) - hi.qpos)
+	if lo.rpos >= ix.fwdLen {
+		m.Reverse = true
+		start, end = 2*ix.fwdLen-end, 2*ix.fwdLen-start
+	}
+	if start < 0 {
+		start = 0
+	}
+	if end > ix.fwdLen {
+		end = ix.fwdLen
+	}
+	m.RefStart, m.RefEnd = start, end
+	return m
+}
+
+func mapq(best, second int) int {
+	if best == 0 {
+		return 0
+	}
+	q := 12 * (best - second)
+	if q > 60 {
+		q = 60
+	}
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+// Classify reports whether the query maps with at least minScore anchors —
+// the baseline Read Until decision (basecall + align, Section 3.1).
+func (ix *Index) Classify(query genome.Sequence, minScore int) bool {
+	return ix.Map(query).Score >= minScore
+}
+
+// RefSlice exposes the forward reference window [start, end) for
+// base-level realignment; bounds are clamped.
+func (ix *Index) RefSlice(start, end int) genome.Sequence {
+	if start < 0 {
+		start = 0
+	}
+	if end > ix.fwdLen {
+		end = ix.fwdLen
+	}
+	if start >= end {
+		return nil
+	}
+	return ix.ref[start:end]
+}
+
+// FwdLen returns the forward-strand length.
+func (ix *Index) FwdLen() int { return ix.fwdLen }
+
+// RandomSequence is a test/benchmark helper producing query-like sequences.
+func RandomSequence(seed int64, n int) genome.Sequence {
+	return genome.Random(rand.New(rand.NewSource(seed)), n)
+}

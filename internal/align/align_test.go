@@ -1,0 +1,301 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"squigglefilter/internal/basecall"
+	"squigglefilter/internal/genome"
+)
+
+func testGenome(seed int64, n int) *genome.Genome {
+	return &genome.Genome{Name: "test", Seq: genome.Random(rand.New(rand.NewSource(seed)), n)}
+}
+
+func TestBuildIndexNonEmpty(t *testing.T) {
+	ix := BuildIndex(testGenome(1, 5000), DefaultIndexConfig())
+	if ix.NumSeeds() == 0 {
+		t.Fatal("index has no seeds")
+	}
+	if ix.FwdLen() != 5000 {
+		t.Errorf("FwdLen = %d", ix.FwdLen())
+	}
+	if ix.Name() != "test" {
+		t.Errorf("Name = %q", ix.Name())
+	}
+}
+
+func TestBuildIndexBadConfigFallsBack(t *testing.T) {
+	ix := BuildIndex(testGenome(2, 1000), IndexConfig{K: -1})
+	if ix.NumSeeds() == 0 {
+		t.Fatal("fallback config produced empty index")
+	}
+}
+
+func TestMapExactFragmentForward(t *testing.T) {
+	g := testGenome(3, 20000)
+	ix := BuildIndex(g, DefaultIndexConfig())
+	query := g.Seq.Fragment(5000, 400).Clone()
+	m := ix.Map(query)
+	if !m.Mapped {
+		t.Fatal("exact fragment unmapped")
+	}
+	if m.Reverse {
+		t.Error("forward fragment mapped as reverse")
+	}
+	if m.RefStart > 5100 || m.RefEnd < 5300 {
+		t.Errorf("span [%d, %d) does not cover the planted fragment at 5000..5400", m.RefStart, m.RefEnd)
+	}
+	if m.MapQ < 30 {
+		t.Errorf("exact fragment MapQ %d, want high", m.MapQ)
+	}
+}
+
+func TestMapExactFragmentReverse(t *testing.T) {
+	g := testGenome(4, 20000)
+	ix := BuildIndex(g, DefaultIndexConfig())
+	query := g.Seq.Fragment(8000, 400).ReverseComplement()
+	m := ix.Map(query)
+	if !m.Mapped || !m.Reverse {
+		t.Fatalf("reverse fragment: %+v", m)
+	}
+	if m.RefStart > 8100 || m.RefEnd < 8300 {
+		t.Errorf("reverse span [%d, %d), want ~[8000, 8400)", m.RefStart, m.RefEnd)
+	}
+}
+
+// Basecall-quality queries (Guppy-lite emulation, ~91% identity) must map
+// confidently — this is the baseline classifier's positive case.
+func TestMapNoisyFragment(t *testing.T) {
+	g := testGenome(5, 30000)
+	ix := BuildIndex(g, DefaultIndexConfig())
+	rng := rand.New(rand.NewSource(6))
+	em := basecall.GuppyLite()
+	for trial := 0; trial < 20; trial++ {
+		pos := rng.Intn(29000)
+		frag := g.Seq.Fragment(pos, 300).Clone()
+		query := em.Emulate(rng, frag)
+		m := ix.Map(query)
+		if !m.Mapped || m.Score < 3 {
+			t.Errorf("trial %d: noisy fragment at %d got score %d", trial, pos, m.Score)
+		}
+	}
+}
+
+// Random queries must not map with meaningful scores — the negative case.
+func TestMapRandomQueryLowScore(t *testing.T) {
+	g := testGenome(7, 30000)
+	ix := BuildIndex(g, DefaultIndexConfig())
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		query := genome.Random(rng, 300)
+		if m := ix.Map(query); m.Score >= 3 {
+			t.Errorf("trial %d: random query scored %d", trial, m.Score)
+		}
+	}
+}
+
+func TestClassifySeparates(t *testing.T) {
+	g := testGenome(9, 30000)
+	ix := BuildIndex(g, DefaultIndexConfig())
+	rng := rand.New(rand.NewSource(10))
+	em := basecall.GuppyLite()
+	const minScore = 3
+	for trial := 0; trial < 10; trial++ {
+		frag := g.Seq.Fragment(rng.Intn(29000), 300).Clone()
+		if !ix.Classify(em.Emulate(rng, frag), minScore) {
+			t.Error("target read rejected")
+		}
+		if ix.Classify(genome.Random(rng, 300), minScore) {
+			t.Error("random read accepted")
+		}
+	}
+}
+
+func TestMapEmptyQuery(t *testing.T) {
+	ix := BuildIndex(testGenome(11, 2000), DefaultIndexConfig())
+	if m := ix.Map(nil); m.Mapped {
+		t.Error("empty query mapped")
+	}
+}
+
+func TestRefSliceClamps(t *testing.T) {
+	g := testGenome(12, 1000)
+	ix := BuildIndex(g, DefaultIndexConfig())
+	if s := ix.RefSlice(-5, 10); len(s) != 10 {
+		t.Errorf("clamped slice length %d", len(s))
+	}
+	if s := ix.RefSlice(990, 2000); len(s) != 10 {
+		t.Errorf("end-clamped slice length %d", len(s))
+	}
+	if s := ix.RefSlice(50, 40); s != nil {
+		t.Error("inverted slice should be nil")
+	}
+	if ix.RefSlice(100, 200).String() != g.Seq[100:200].String() {
+		t.Error("RefSlice content wrong")
+	}
+}
+
+func TestMinimizersDeterministicAndOrdered(t *testing.T) {
+	seq := genome.Random(rand.New(rand.NewSource(13)), 500)
+	a := minimizers(seq, 13, 5)
+	b := minimizers(seq, 13, 5)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("minimizer count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("minimizers not deterministic")
+		}
+		if i > 0 && a[i].pos <= a[i-1].pos {
+			t.Fatal("minimizer positions not strictly increasing")
+		}
+	}
+}
+
+func TestMinimizersDensity(t *testing.T) {
+	seq := genome.Random(rand.New(rand.NewSource(14)), 10000)
+	mz := minimizers(seq, 13, 5)
+	density := float64(len(mz)) / float64(len(seq))
+	// Expected density for window w is ~2/(w+1) = 1/3.
+	if density < 0.2 || density > 0.5 {
+		t.Errorf("minimizer density %.3f, want ~0.33", density)
+	}
+}
+
+func TestMinimizersShortSequence(t *testing.T) {
+	if mz := minimizers(genome.Random(rand.New(rand.NewSource(15)), 5), 13, 5); mz != nil {
+		t.Error("sub-k sequence should have no minimizers")
+	}
+}
+
+// --- banded alignment ---
+
+func TestBandedGlobalIdentical(t *testing.T) {
+	seq := genome.Random(rand.New(rand.NewSource(16)), 200)
+	dist, ops := BandedGlobal(seq, seq, 16)
+	if dist != 0 {
+		t.Fatalf("self-alignment distance %d", dist)
+	}
+	if len(ops) != 200 {
+		t.Fatalf("ops length %d", len(ops))
+	}
+	for _, op := range ops {
+		if op != OpMatch {
+			t.Fatal("self-alignment contains non-match op")
+		}
+	}
+}
+
+func TestBandedGlobalKnownEdits(t *testing.T) {
+	a, _ := genome.FromString("ACGTACGTAC")
+	b, _ := genome.FromString("ACGAACGTAC") // one substitution
+	dist, ops := BandedGlobal(a, b, 8)
+	if dist != 1 {
+		t.Errorf("distance %d, want 1", dist)
+	}
+	subs := 0
+	for _, op := range ops {
+		if op == OpSub {
+			subs++
+		}
+	}
+	if subs != 1 {
+		t.Errorf("found %d substitutions, want 1", subs)
+	}
+}
+
+func TestBandedGlobalMatchesEditDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genome.Random(rng, 60+rng.Intn(40))
+		b := append(genome.Sequence{}, a...)
+		// Apply a few random edits.
+		for e := 0; e < 5; e++ {
+			p := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0:
+				b[p] = genome.Alphabet[rng.Intn(4)]
+			case 1:
+				b = append(b[:p], b[p+1:]...)
+			default:
+				b = append(b[:p], append(genome.Sequence{genome.A}, b[p:]...)...)
+			}
+		}
+		dist, ops := BandedGlobal(a, b, 16)
+		if dist != EditDistance(a, b) {
+			return false
+		}
+		// Ops must walk exactly through both sequences.
+		i, j, counted := 0, 0, 0
+		for _, op := range ops {
+			switch op {
+			case OpMatch:
+				if a[i] != b[j] {
+					return false
+				}
+				i++
+				j++
+			case OpSub:
+				if a[i] == b[j] {
+					return false
+				}
+				i++
+				j++
+				counted++
+			case OpIns:
+				i++
+				counted++
+			case OpDel:
+				j++
+				counted++
+			}
+		}
+		return i == len(a) && j == len(b) && counted == dist
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandedGlobalLengthMismatch(t *testing.T) {
+	a := genome.Random(rand.New(rand.NewSource(17)), 50)
+	b := a[:30]
+	dist, _ := BandedGlobal(a, b, 8)
+	if dist != 20 {
+		t.Errorf("prefix alignment distance %d, want 20", dist)
+	}
+}
+
+func TestEditDistanceSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genome.Random(rng, rng.Intn(50))
+		b := genome.Random(rng, rng.Intn(50))
+		return EditDistance(a, b) == EditDistance(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMap300BaseRead(b *testing.B) {
+	g := testGenome(18, 30000)
+	ix := BuildIndex(g, DefaultIndexConfig())
+	rng := rand.New(rand.NewSource(19))
+	query := basecall.GuppyLite().Emulate(rng, g.Seq.Fragment(4000, 300).Clone())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Map(query)
+	}
+}
+
+func BenchmarkBuildIndexSARSCoV2Scale(b *testing.B) {
+	g := testGenome(20, 30000)
+	cfg := DefaultIndexConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildIndex(g, cfg)
+	}
+}

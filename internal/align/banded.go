@@ -1,0 +1,145 @@
+package align
+
+import "squigglefilter/internal/genome"
+
+// EditOp is one column of a base-level alignment.
+type EditOp byte
+
+// Alignment operations.
+const (
+	OpMatch EditOp = 'M' // bases equal
+	OpSub   EditOp = 'X' // substitution
+	OpIns   EditOp = 'I' // extra base in the query
+	OpDel   EditOp = 'D' // missing base in the query
+)
+
+// BandedGlobal computes a banded global alignment of query against ref
+// (unit costs), returning the edit distance and the operation string in
+// query/ref order. The band is centred on the main diagonal and
+// automatically widened to cover the length difference. A band that is
+// too narrow for the optimal path yields a slightly suboptimal (but still
+// valid) alignment — the standard banded-DP trade-off.
+func BandedGlobal(query, ref genome.Sequence, band int) (int, []EditOp) {
+	n, m := len(query), len(ref)
+	if band < 8 {
+		band = 8
+	}
+	diff := n - m
+	if diff < 0 {
+		diff = -diff
+	}
+	band += diff
+
+	const inf = int32(1) << 28
+	width := 2*band + 1
+	// dp[i][j-i+band] for j in [i-band, i+band].
+	dp := make([]int32, (n+1)*width)
+	bt := make([]EditOp, (n+1)*width)
+	at := func(i, j int) int { return i*width + (j - i + band) }
+	inBand := func(i, j int) bool { return j >= 0 && j <= m && j >= i-band && j <= i+band }
+
+	for i := 0; i <= n; i++ {
+		for j := i - band; j <= i+band; j++ {
+			if j < 0 || j > m {
+				continue
+			}
+			idx := at(i, j)
+			switch {
+			case i == 0 && j == 0:
+				dp[idx] = 0
+			case i == 0:
+				dp[idx] = int32(j)
+				bt[idx] = OpDel
+			case j == 0:
+				dp[idx] = int32(i)
+				bt[idx] = OpIns
+			default:
+				best, op := inf, OpSub
+				if inBand(i-1, j-1) {
+					c := dp[at(i-1, j-1)]
+					o := OpSub
+					if query[i-1] == ref[j-1] {
+						o = OpMatch
+					} else {
+						c++
+					}
+					if c < best {
+						best, op = c, o
+					}
+				}
+				if inBand(i-1, j) {
+					if c := dp[at(i-1, j)] + 1; c < best {
+						best, op = c, OpIns
+					}
+				}
+				if inBand(i, j-1) {
+					if c := dp[at(i, j-1)] + 1; c < best {
+						best, op = c, OpDel
+					}
+				}
+				dp[idx] = best
+				bt[idx] = op
+			}
+		}
+	}
+
+	if !inBand(n, m) {
+		// Cannot happen: the band was widened by the length difference.
+		panic("align: end cell outside band")
+	}
+	dist := int(dp[at(n, m)])
+
+	// Traceback.
+	ops := make([]EditOp, 0, n+m)
+	i, j := n, m
+	for i > 0 || j > 0 {
+		op := bt[at(i, j)]
+		ops = append(ops, op)
+		switch op {
+		case OpMatch, OpSub:
+			i--
+			j--
+		case OpIns:
+			i--
+		case OpDel:
+			j--
+		}
+	}
+	// Reverse into forward order.
+	for a, b := 0, len(ops)-1; a < b; a, b = a+1, b-1 {
+		ops[a], ops[b] = ops[b], ops[a]
+	}
+	return dist, ops
+}
+
+// EditDistance is the unbanded Levenshtein distance (O(min) memory, no
+// traceback) — used to score basecall identity and verify BandedGlobal.
+func EditDistance(a, b genome.Sequence) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	prev := make([]int32, len(b)+1)
+	cur := make([]int32, len(b)+1)
+	for j := range prev {
+		prev[j] = int32(j)
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = int32(i)
+		for j := 1; j <= len(b); j++ {
+			cost := int32(1)
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if v := prev[j] + 1; v < m {
+				m = v
+			}
+			if v := cur[j-1] + 1; v < m {
+				m = v
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return int(prev[len(b)])
+}

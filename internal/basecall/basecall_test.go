@@ -1,0 +1,245 @@
+package basecall
+
+import (
+	"math/rand"
+	"testing"
+
+	"squigglefilter/internal/genome"
+	"squigglefilter/internal/pore"
+	"squigglefilter/internal/squiggle"
+)
+
+func TestSegmentEmpty(t *testing.T) {
+	if ev := Segment(nil, DefaultSegmentConfig()); ev != nil {
+		t.Errorf("empty signal produced %d events", len(ev))
+	}
+}
+
+func TestSegmentShortSignal(t *testing.T) {
+	ev := Segment([]int16{500, 501, 502}, DefaultSegmentConfig())
+	if len(ev) != 1 || ev[0].Len != 3 {
+		t.Errorf("short signal events = %+v", ev)
+	}
+}
+
+func TestSegmentCoversSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sim, _ := squiggle.NewSimulator(pore.DefaultModel(), squiggle.DefaultConfig(), 2)
+	frag := genome.Random(rng, 200)
+	samples, _ := sim.Squiggle(frag)
+	events := Segment(samples, DefaultSegmentConfig())
+	total := 0
+	prevEnd := 0
+	for _, e := range events {
+		if e.Start != prevEnd {
+			t.Fatalf("event gap/overlap at %d (prev end %d)", e.Start, prevEnd)
+		}
+		if e.Len <= 0 {
+			t.Fatalf("non-positive event length %d", e.Len)
+		}
+		prevEnd = e.Start + e.Len
+		total += e.Len
+	}
+	if total != len(samples) {
+		t.Errorf("events cover %d samples of %d", total, len(samples))
+	}
+}
+
+func TestSegmentFindsMostEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sim, _ := squiggle.NewSimulator(pore.DefaultModel(), squiggle.DefaultConfig(), 4)
+	frag := genome.Random(rng, 300)
+	samples, truth := sim.Squiggle(frag)
+	events := Segment(samples, DefaultSegmentConfig())
+	ratio := float64(len(events)) / float64(len(truth))
+	// Segmentation is imperfect by design (that is where basecall errors
+	// come from), but should recover the bulk of the true events.
+	if ratio < 0.55 || ratio > 1.45 {
+		t.Errorf("segmented %d events for %d true pore states (ratio %.2f)",
+			len(events), len(truth), ratio)
+	}
+}
+
+func TestSegmentStepSignal(t *testing.T) {
+	// Clean two-level step must yield exactly two events.
+	samples := make([]int16, 40)
+	for i := range samples {
+		if i < 20 {
+			samples[i] = 400
+		} else {
+			samples[i] = 600
+		}
+	}
+	events := Segment(samples, DefaultSegmentConfig())
+	if len(events) != 2 {
+		t.Fatalf("step signal produced %d events, want 2", len(events))
+	}
+	if events[0].Mean != 400 || events[1].Mean != 600 {
+		t.Errorf("event means %v, %v", events[0].Mean, events[1].Mean)
+	}
+}
+
+func TestCallEmptySignal(t *testing.T) {
+	bc := New(pore.DefaultModel())
+	if res := bc.Call(nil); len(res.Seq) != 0 {
+		t.Errorf("empty signal basecalled to %d bases", len(res.Seq))
+	}
+}
+
+// Noise-free squiggles with fixed dwell must decode with near-perfect
+// identity: the only freedom is at read ends.
+func TestCallNoiseFree(t *testing.T) {
+	model := pore.DefaultModel()
+	cfg := squiggle.DefaultConfig()
+	cfg.NoisePA = 0.01
+	cfg.DwellSD = 0
+	cfg.RateSD = 0
+	cfg.GainSD = 0
+	cfg.OffsetPA = 0
+	sim, err := squiggle.NewSimulator(model, cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag := genome.Random(rand.New(rand.NewSource(6)), 150)
+	samples, _ := sim.Squiggle(frag)
+	res := New(model).Call(samples)
+	id := Identity(res.Seq, frag)
+	if id < 0.80 {
+		t.Errorf("noise-free identity %.3f, want >= 0.80 (called %d bases of %d)",
+			id, len(res.Seq), len(frag))
+	}
+}
+
+// Oracle event boundaries isolate the decoder from the segmenter: the
+// Viterbi search plus calibration must then recover the sequence exactly.
+func TestCallOracleEventsPerfect(t *testing.T) {
+	model := pore.DefaultModel()
+	cfg := squiggle.DefaultConfig()
+	cfg.NoisePA = 0.01
+	cfg.DwellSD = 0
+	cfg.RateSD = 0
+	cfg.GainSD = 0
+	cfg.OffsetPA = 0
+	sim, _ := squiggle.NewSimulator(model, cfg, 5)
+	frag := genome.Random(rand.New(rand.NewSource(6)), 150)
+	samples, truth := sim.Squiggle(frag)
+	events := make([]Event, len(truth))
+	for i := range truth {
+		end := len(samples)
+		if i+1 < len(truth) {
+			end = truth[i+1]
+		}
+		events[i] = makeEvent(samples, truth[i], end)
+	}
+	res := New(model).CallEvents(events)
+	if id := Identity(res.Seq, frag); id < 0.999 {
+		t.Errorf("oracle-event identity %.3f, want 1.0", id)
+	}
+}
+
+// Realistic noise: event-based decoding is the accuracy class of pre-DNN
+// callers (~55-70%); the DNN emulator covers the Guppy accuracy class.
+func TestCallRealisticNoise(t *testing.T) {
+	model := pore.DefaultModel()
+	sim, _ := squiggle.NewSimulator(model, squiggle.DefaultConfig(), 7)
+	frag := genome.Random(rand.New(rand.NewSource(8)), 250)
+	samples, _ := sim.Squiggle(frag)
+	res := New(model).Call(samples)
+	id := Identity(res.Seq, frag)
+	if id < 0.50 {
+		t.Errorf("realistic identity %.3f, want >= 0.50", id)
+	}
+	if res.Events == 0 || res.Score <= 0 {
+		t.Errorf("diagnostics missing: %+v", res)
+	}
+}
+
+func TestEmulatorIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	truth := genome.Random(rng, 5000)
+	for _, m := range []ErrorModel{Guppy(), GuppyLite()} {
+		called := m.Emulate(rng, truth)
+		id := Identity(called, truth)
+		want := m.Identity()
+		if id < want-0.03 || id > want+0.03 {
+			t.Errorf("%s emulated identity %.3f, want ~%.3f", m.Name, id, want)
+		}
+	}
+	if Guppy().Identity() <= GuppyLite().Identity() {
+		t.Error("Guppy should be more accurate than Guppy-lite")
+	}
+}
+
+func TestEmulatorDeterministicWithSeed(t *testing.T) {
+	truth := genome.Random(rand.New(rand.NewSource(21)), 300)
+	a := GuppyLite().Emulate(rand.New(rand.NewSource(22)), truth)
+	b := GuppyLite().Emulate(rand.New(rand.NewSource(22)), truth)
+	if a.String() != b.String() {
+		t.Error("emulator not deterministic for fixed seed")
+	}
+}
+
+func TestCallDeterministic(t *testing.T) {
+	model := pore.DefaultModel()
+	sim, _ := squiggle.NewSimulator(model, squiggle.DefaultConfig(), 9)
+	frag := genome.Random(rand.New(rand.NewSource(10)), 100)
+	samples, _ := sim.Squiggle(frag)
+	a := New(model).Call(samples)
+	b := New(model).Call(samples)
+	if a.Seq.String() != b.Seq.String() {
+		t.Error("basecalling is not deterministic")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	a, _ := genome.FromString("ACGTACGT")
+	if id := Identity(a, a); id != 1 {
+		t.Errorf("self identity %v", id)
+	}
+	b, _ := genome.FromString("ACGTACGA")
+	if id := Identity(a, b); id != 1-1.0/8 {
+		t.Errorf("one-sub identity %v", id)
+	}
+	if id := Identity(nil, nil); id != 1 {
+		t.Errorf("empty identity %v", id)
+	}
+	if id := Identity(a, nil); id != 0 {
+		t.Errorf("identity vs nothing %v", id)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"ACGT", "ACGT", 0},
+		{"ACGT", "AGGT", 1},
+		{"ACGT", "CGT", 1},
+		{"ACGT", "ACGTT", 1},
+		{"AAAA", "TTTT", 4},
+	}
+	for _, c := range cases {
+		a, _ := genome.FromString(c.a)
+		b, _ := genome.FromString(c.b)
+		if got := editDistance(a, b); got != c.want {
+			t.Errorf("editDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := editDistance(b, a); got != c.want {
+			t.Errorf("editDistance not symmetric for (%q,%q)", c.a, c.b)
+		}
+	}
+}
+
+func BenchmarkCall2000Samples(b *testing.B) {
+	model := pore.DefaultModel()
+	sim, _ := squiggle.NewSimulator(model, squiggle.DefaultConfig(), 11)
+	frag := genome.Random(rand.New(rand.NewSource(12)), 205)
+	samples, _ := sim.Squiggle(frag)
+	bc := New(model)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc.Call(samples)
+	}
+}

@@ -1,0 +1,140 @@
+// Package basecall is this repository's stand-in for ONT's Guppy basecaller
+// in the baseline Read Until pipeline (paper Section 3.1). Guppy is a
+// closed-source DNN; what the baseline needs from it is (a) base sequences
+// accurate enough for MiniMap2-style classification and (b) its measured
+// performance envelope. (a) is implemented here from scratch as classic
+// signal-space basecalling: t-statistic event segmentation followed by
+// Viterbi decoding over the 6-mer pore model. (b) lives in internal/gpu as
+// a calibrated performance model.
+package basecall
+
+import (
+	"math"
+	"sort"
+)
+
+// Event is a segment of raw signal attributed to one pore state (one
+// k-mer): the nanopore current stays at a level while a k-mer occupies the
+// pore and jumps when the strand advances.
+type Event struct {
+	Start int     // first sample index
+	Len   int     // number of samples
+	Mean  float64 // mean raw level over the event
+}
+
+// SegmentConfig tunes the changepoint detector.
+type SegmentConfig struct {
+	// Window is the half-window of the two-sided mean comparison.
+	Window int
+	// SigmaFactor scales the noise estimate into the changepoint
+	// threshold.
+	SigmaFactor float64
+	// MinLen is the minimum event length in samples; candidate
+	// changepoints closer than this are suppressed.
+	MinLen int
+}
+
+// DefaultSegmentConfig returns the detector tuning used throughout the
+// repository (calibrated for the simulator's ~10 samples/base dwell).
+func DefaultSegmentConfig() SegmentConfig {
+	return SegmentConfig{Window: 5, SigmaFactor: 2.0, MinLen: 4}
+}
+
+// Segment splits a raw signal into events. It computes, at every sample, a
+// two-sided window-mean difference; positions where the difference is a
+// local maximum above SigmaFactor times the noise floor become event
+// boundaries (subject to MinLen).
+func Segment(samples []int16, cfg SegmentConfig) []Event {
+	n := len(samples)
+	if n == 0 {
+		return nil
+	}
+	w := cfg.Window
+	if w < 1 {
+		w = 1
+	}
+	if n < 2*w+1 {
+		return []Event{makeEvent(samples, 0, n)}
+	}
+
+	// Prefix sums of x and x² for O(1) window means and variances.
+	prefix := make([]int64, n+1)
+	prefix2 := make([]int64, n+1)
+	for i, v := range samples {
+		prefix[i+1] = prefix[i] + int64(v)
+		prefix2[i+1] = prefix2[i] + int64(v)*int64(v)
+	}
+	mean := func(a, b int) float64 { // [a, b)
+		return float64(prefix[b]-prefix[a]) / float64(b-a)
+	}
+	variance := func(a, b int) float64 {
+		m := mean(a, b)
+		return float64(prefix2[b]-prefix2[a])/float64(b-a) - m*m
+	}
+
+	// Noise floor: the *median* absolute successive difference, which is
+	// robust to the large jumps at event boundaries (~1 sample in 10) —
+	// a mean would inflate the threshold and miss small level changes
+	// between overlapping k-mers. It also floors the t-statistic's
+	// variance estimate so clean signals don't divide by ~zero.
+	diffs := make([]float64, 0, n-1)
+	for i := 1; i < n; i++ {
+		diffs = append(diffs, math.Abs(float64(samples[i])-float64(samples[i-1])))
+	}
+	sort.Float64s(diffs)
+	noise := diffs[len(diffs)/2]/math.Sqrt2 + 0.5 // per-sample sigma estimate
+	threshold := cfg.SigmaFactor
+
+	// Welch t-statistic of the two flanking windows: normalizing by the
+	// local variance detects the small level changes between overlapping
+	// k-mers that a fixed absolute threshold misses.
+	score := make([]float64, n)
+	for i := w; i <= n-w; i++ {
+		r := min(i+w, n)
+		v := (variance(i-w, i) + variance(i, r)) / 2
+		if floor := noise * noise; v < floor {
+			v = floor
+		}
+		se := math.Sqrt(v * 2 / float64(w))
+		score[i] = math.Abs(mean(i-w, i)-mean(i, r)) / se
+	}
+
+	// Greedy local-maximum picking with MinLen suppression.
+	boundaries := []int{0}
+	last := 0
+	for i := w; i < n-w; i++ {
+		if score[i] <= threshold {
+			continue
+		}
+		if score[i] < score[i-1] || score[i] < score[i+1] {
+			continue // not a local max
+		}
+		if i-last < cfg.MinLen {
+			continue
+		}
+		boundaries = append(boundaries, i)
+		last = i
+	}
+	boundaries = append(boundaries, n)
+
+	events := make([]Event, 0, len(boundaries)-1)
+	for i := 1; i < len(boundaries); i++ {
+		events = append(events, makeEvent(samples, boundaries[i-1], boundaries[i]))
+	}
+	return events
+}
+
+func makeEvent(samples []int16, start, end int) Event {
+	var sum int64
+	for _, v := range samples[start:end] {
+		sum += int64(v)
+	}
+	return Event{Start: start, Len: end - start, Mean: float64(sum) / float64(end-start)}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,281 @@
+package basecall
+
+import (
+	"math"
+
+	"squigglefilter/internal/genome"
+	"squigglefilter/internal/normalize"
+	"squigglefilter/internal/pore"
+)
+
+// Basecaller decodes event sequences into bases with a Viterbi search over
+// the 4,096-state 6-mer model. Three transition types are allowed between
+// consecutive events: "step" (the strand advanced one base: 4 predecessor
+// k-mers, free), "stay" (the segmenter split one pore state into two
+// events: same k-mer, penalized), and "skip" (the segmenter merged two
+// pore states into one event: 16 predecessors two steps back, penalized —
+// this emits two bases and recovers small level changes the changepoint
+// detector cannot see). Residual errors become substitutions/indels that
+// the downstream aligner tolerates — exactly the behaviour the paper leans
+// on ("MiniMap2 is able to account for incorrect basecalls").
+type Basecaller struct {
+	model *pore.Model
+	seg   SegmentConfig
+	// StayPenalty is the cost of explaining two consecutive events with
+	// the same k-mer, in squared-pA units.
+	StayPenalty float64
+	// SkipPenalty is the cost of a two-base advance within one event.
+	SkipPenalty float64
+}
+
+// New returns a basecaller over the given pore model with default tuning.
+func New(model *pore.Model) *Basecaller {
+	return &Basecaller{
+		model:       model,
+		seg:         DefaultSegmentConfig(),
+		StayPenalty: 1.0,
+		SkipPenalty: 12.0,
+	}
+}
+
+// emissionSigmaPA is the assumed level-noise scale of an event mean; the
+// emission cost is the squared level error over 2·sigma², weighted by the
+// event length (longer events pin their level more precisely).
+const emissionSigmaPA = 1.5
+
+// Result is a basecalled read.
+type Result struct {
+	Seq genome.Sequence
+	// Events is the number of segmented events (basecalled speed
+	// diagnostics).
+	Events int
+	// Score is the total Viterbi path cost (lower is better).
+	Score float64
+}
+
+// Call basecalls a raw signal: segmentation, level normalization, and
+// Viterbi decoding. Signals too short to segment return an empty sequence.
+func (b *Basecaller) Call(samples []int16) Result {
+	events := Segment(samples, b.seg)
+	return b.CallEvents(events)
+}
+
+// CallEvents decodes pre-segmented events. It runs two Viterbi passes: the
+// first on mean/MAD-normalized levels, the second after re-estimating the
+// read's gain and offset by regressing observed event means against the
+// model levels of the first pass's decoded states (the same idea as the
+// signal-space "rescaling" step of event-based nanopore callers).
+func (b *Basecaller) CallEvents(events []Event) Result {
+	if len(events) == 0 {
+		return Result{}
+	}
+	raw := make([]float64, len(events))
+	for i, e := range events {
+		raw[i] = e.Mean
+	}
+	// Pass 1: mean/MAD normalization mapped onto the model's scale.
+	levels := make([]float64, len(events))
+	for i, z := range normalize.Normalize(raw) {
+		levels[i] = b.model.Mean + z*b.model.MAD
+	}
+	res, states := b.decode(events, levels)
+
+	// Refit: observed = a*modelLevel + b across events, then invert.
+	a, c, ok := regress(states, raw, b.model)
+	if !ok {
+		return res
+	}
+	for i, obs := range raw {
+		levels[i] = (obs - c) / a
+	}
+	res, _ = b.decode(events, levels)
+	return res
+}
+
+// regress least-squares fits observed event means against the model levels
+// of the decoded states. It reports ok=false for degenerate fits.
+func regress(states []int, observed []float64, model *pore.Model) (a, b float64, ok bool) {
+	n := float64(len(states))
+	if n < 8 {
+		return 0, 0, false
+	}
+	var sx, sy, sxx, sxy float64
+	for i, k := range states {
+		x := model.Level(pore.Kmer(k))
+		y := observed[i]
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, false
+	}
+	a = (n*sxy - sx*sy) / den
+	if a <= 0 {
+		return 0, 0, false
+	}
+	b = (sy - a*sx) / n
+	return a, b, true
+}
+
+// decode runs one Viterbi pass over calibrated levels, returning the
+// basecall and the decoded state per event.
+func (b *Basecaller) decode(events []Event, levels []float64) (Result, []int) {
+	const numStates = pore.NumKmers
+	inv2Sigma2 := 1 / (2 * emissionSigmaPA * emissionSigmaPA)
+	weight := make([]float64, len(events))
+	for i, e := range events {
+		w := float64(e.Len)
+		if w > 12 {
+			w = 12
+		}
+		weight[i] = w * inv2Sigma2
+	}
+	emit := func(e int, k int) float64 {
+		d := levels[e] - b.model.Level(pore.Kmer(k))
+		return d * d * weight[e]
+	}
+
+	dp := make([]float64, numStates)
+	next := make([]float64, numStates)
+	// back[e][k] encodes the predecessor state of k at event e in the low
+	// 12 bits, with the move type in bits 13-14.
+	back := make([][]uint16, len(events))
+	const (
+		moveStep uint16 = 0 << 13
+		moveStay uint16 = 1 << 13
+		moveSkip uint16 = 2 << 13
+		moveMask uint16 = 3 << 13
+		stateMsk uint16 = 1<<13 - 1
+	)
+
+	for k := 0; k < numStates; k++ {
+		dp[k] = emit(0, k)
+	}
+	for e := 1; e < len(events); e++ {
+		back[e] = make([]uint16, numStates)
+		for k := 0; k < numStates; k++ {
+			// Stay: same k-mer, penalized.
+			best := dp[k] + b.StayPenalty
+			bp := uint16(k) | moveStay
+			// Step: predecessors drop their newest base's slot.
+			rest1 := k >> 2
+			for x := 0; x < 4; x++ {
+				pred := rest1 | x<<(2*(pore.K-1))
+				if dp[pred] < best {
+					best = dp[pred]
+					bp = uint16(pred) | moveStep
+				}
+			}
+			// Skip: two bases advanced within one event.
+			rest2 := k >> 4
+			for x := 0; x < 16; x++ {
+				pred := rest2 | x<<(2*(pore.K-2))
+				if c := dp[pred] + b.SkipPenalty; c < best {
+					best = c
+					bp = uint16(pred) | moveSkip
+				}
+			}
+			next[k] = best + emit(e, k)
+			back[e][k] = bp
+		}
+		dp, next = next, dp
+	}
+
+	// Best final state, then backtrack.
+	bestK, bestScore := 0, math.Inf(1)
+	for k := 0; k < numStates; k++ {
+		if dp[k] < bestScore {
+			bestK, bestScore = k, dp[k]
+		}
+	}
+	// Collect the path moves in reverse: each move records the state at
+	// its event and how many new bases it emitted.
+	type move struct {
+		state int
+		emits int
+	}
+	path := make([]move, 0, len(events))
+	states := make([]int, len(events))
+	k := bestK
+	for e := len(events) - 1; e >= 1; e-- {
+		states[e] = k
+		bp := back[e][k]
+		emits := 1
+		switch bp & moveMask {
+		case moveStay:
+			emits = 0
+		case moveSkip:
+			emits = 2
+		}
+		path = append(path, move{state: k, emits: emits})
+		k = int(bp & stateMsk)
+	}
+	states[0] = k
+
+	// Decode: the initial state contributes its full 6-mer; every step
+	// appends its new base (low 2 bits), every skip its two new bases.
+	seq := make(genome.Sequence, 0, pore.K+len(path)+len(path))
+	initial := pore.Kmer(k).String()
+	for i := 0; i < len(initial); i++ {
+		seq = append(seq, genome.Base(initial[i]))
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		switch path[i].emits {
+		case 1:
+			seq = append(seq, genome.FromCode(path[i].state&3))
+		case 2:
+			seq = append(seq, genome.FromCode(path[i].state>>2&3), genome.FromCode(path[i].state&3))
+		}
+	}
+	return Result{Seq: seq, Events: len(events), Score: bestScore}, states
+}
+
+// Identity returns the sequence identity between a basecalled read and the
+// truth: 1 - editDistance/max(len). Both empty counts as identity 1.
+func Identity(called, truth genome.Sequence) float64 {
+	if len(called) == 0 && len(truth) == 0 {
+		return 1
+	}
+	maxLen := len(called)
+	if len(truth) > maxLen {
+		maxLen = len(truth)
+	}
+	if maxLen == 0 {
+		return 1
+	}
+	return 1 - float64(editDistance(called, truth))/float64(maxLen)
+}
+
+// editDistance is the Levenshtein distance with O(min(n,m)) memory.
+func editDistance(a, b genome.Sequence) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if v := prev[j] + 1; v < m {
+				m = v
+			}
+			if v := cur[j-1] + 1; v < m {
+				m = v
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

@@ -1,0 +1,203 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the per-experiment index). Each
+// experiment is a function from a Scale to a typed result with a Print
+// method; cmd/experiments and the repository-root benchmarks are thin
+// wrappers over this package.
+//
+// Scale controls dataset sizes: Fast (the default) runs every experiment
+// in seconds on a laptop core with reduced read counts and reference
+// lengths; Full uses the paper's dataset sizes (1,000 reads per class
+// against full-length genomes) and can take hours on one core. Shapes —
+// who wins, by what factor, where crossovers fall — are stable across
+// scales; EXPERIMENTS.md records Fast-scale numbers next to the paper's.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"squigglefilter/internal/genome"
+	"squigglefilter/internal/normalize"
+	"squigglefilter/internal/pore"
+	"squigglefilter/internal/sdtw"
+	"squigglefilter/internal/squiggle"
+)
+
+// Scale selects dataset sizes.
+type Scale int
+
+// Available scales.
+const (
+	Fast Scale = iota
+	Full
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "fast"
+}
+
+// ParseScale converts a flag value.
+func ParseScale(v string) (Scale, error) {
+	switch v {
+	case "fast", "":
+		return Fast, nil
+	case "full":
+		return Full, nil
+	}
+	return Fast, fmt.Errorf("experiments: unknown scale %q (want fast or full)", v)
+}
+
+// Experiment is a registry entry.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(s Scale, w io.Writer) error
+}
+
+// Registry lists every reproducible artifact in paper order.
+var Registry = []Experiment{
+	{"table1", "Table 1: virus detector comparison", runTable1},
+	{"table2", "Table 2: SARS-CoV-2 strain mutation counts", runTable2},
+	{"table3", "Table 3: evaluated GPU/CPU specifications", runTable3},
+	{"table4", "Table 4: SquiggleFilter ASIC synthesis results", runTable4},
+	{"fig2", "Figure 2: progression of US COVID-19 testing", runFigure2},
+	{"fig5", "Figure 5: pipeline compute breakdown (basecalling bottleneck)", runFigure5},
+	{"fig6", "Figure 6: sequencing throughput growth", runFigure6},
+	{"fig10", "Figure 10: epidemic virus genome lengths", runFigure10},
+	{"fig11", "Figure 11: sDTW cost distributions by prefix length", runFigure11},
+	{"fig16", "Figure 16: Read Until latency and throughput vs GPUs", runFigure16},
+	{"fig17a", "Figure 17a: Read Until classification accuracy", runFigure17a},
+	{"fig17b", "Figure 17b: Read Until runtime, lambda phage", runFigure17b},
+	{"fig17c", "Figure 17c: Read Until runtime, SARS-CoV-2", runFigure17c},
+	{"fig18", "Figure 18: sDTW algorithm-modification ablation", runFigure18},
+	{"fig19", "Figure 19: robustness to reference mutations", runFigure19},
+	{"fig20", "Figure 20: flow cell wash experiment", runFigure20},
+	{"fig21", "Figure 21: future sequencer scaling", runFigure21},
+	{"headline", "Section 7 headline numbers (274x, 3481x, 114x)", runHeadline},
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared dataset machinery ---
+
+// accuracySpec sizes a balanced classification dataset.
+type accuracySpec struct {
+	targetLen    int // target genome length (bases)
+	readsPerSide int
+	readLenBases int
+}
+
+func accuracySizes(s Scale) accuracySpec {
+	if s == Full {
+		return accuracySpec{targetLen: genome.LambdaPhageLen, readsPerSide: 1000, readLenBases: 1500}
+	}
+	return accuracySpec{targetLen: 3000, readsPerSide: 50, readLenBases: 900}
+}
+
+// dataset is a balanced target/host read set plus the programmed
+// reference.
+type dataset struct {
+	target  *genome.Genome
+	ref     *pore.Reference
+	targets []*squiggle.Read
+	hosts   []*squiggle.Read
+}
+
+// buildDataset synthesizes the lambda-like accuracy dataset. mutations>0
+// additionally perturbs the *reference* (not the reads) for the Figure 19
+// robustness sweep.
+func buildDataset(s Scale, seed int64, mutations int) (*dataset, error) {
+	spec := accuracySizes(s)
+	model := pore.DefaultModel()
+	target := &genome.Genome{
+		Name:           "lambda-like",
+		Seq:            genome.Random(newRand(seed), spec.targetLen),
+		DoubleStranded: true,
+	}
+	hostLen := 40 * spec.targetLen
+	if hostLen > 400_000 {
+		hostLen = 400_000
+	}
+	host := &genome.Genome{Name: "host", Seq: genome.Random(newRand(seed+1), hostLen)}
+
+	refGenome := target
+	if mutations > 0 {
+		seq, _ := genome.Mutate(newRand(seed+2), target.Seq, mutations)
+		refGenome = &genome.Genome{Name: "mutated-ref", Seq: seq, DoubleStranded: true}
+	}
+	ref := model.BuildReference(refGenome)
+
+	sim, err := squiggle.NewSimulator(model, squiggle.DefaultConfig(), seed+3)
+	if err != nil {
+		return nil, err
+	}
+	targets, hosts := sim.BalancedPair(target, host, spec.readsPerSide, spec.readLenBases)
+	return &dataset{target: target, ref: ref, targets: targets, hosts: hosts}, nil
+}
+
+// intCosts computes hardware-config sDTW costs for every read at a prefix.
+func (d *dataset) intCosts(prefixSamples int, cfg sdtw.IntConfig) (targetCosts, hostCosts []float64) {
+	cost := func(r *squiggle.Read) float64 {
+		q := normalize.ApplyInt8(r.Prefix(prefixSamples))
+		return float64(sdtw.IntDP(q, d.ref.Int8, cfg).Cost)
+	}
+	for _, r := range d.targets {
+		targetCosts = append(targetCosts, cost(r))
+	}
+	for _, r := range d.hosts {
+		hostCosts = append(hostCosts, cost(r))
+	}
+	return targetCosts, hostCosts
+}
+
+// floatCosts computes ablation-config sDTW costs (float engine). When
+// quantized is true, inputs are the 8-bit fixed-point values ("integer
+// normalization").
+func (d *dataset) floatCosts(prefixSamples int, cfg sdtw.Config, quantized bool) (targetCosts, hostCosts []float64) {
+	refFloat := d.ref.Float
+	refQuant := make([]float64, len(d.ref.Int8))
+	for i, v := range d.ref.Int8 {
+		refQuant[i] = float64(v)
+	}
+	cost := func(r *squiggle.Read) float64 {
+		prefix := r.Prefix(prefixSamples)
+		var q, ref []float64
+		if quantized {
+			qi := normalize.ApplyInt8(prefix)
+			q = make([]float64, len(qi))
+			for i, v := range qi {
+				q[i] = float64(v)
+			}
+			ref = refQuant
+		} else {
+			raw := make([]float64, len(prefix))
+			for i, v := range prefix {
+				raw[i] = float64(v)
+			}
+			// Float pipeline normalizes to MAD units; scale to the
+			// same fixed-point units so thresholds are comparable.
+			q = normalize.Normalize(raw)
+			ref = refFloat
+		}
+		return sdtw.DP(q, ref, cfg).Cost
+	}
+	for _, r := range d.targets {
+		targetCosts = append(targetCosts, cost(r))
+	}
+	for _, r := range d.hosts {
+		hostCosts = append(hostCosts, cost(r))
+	}
+	return targetCosts, hostCosts
+}

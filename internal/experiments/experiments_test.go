@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"squigglefilter/internal/sdtw"
+)
+
+func TestParseScale(t *testing.T) {
+	if s, err := ParseScale("fast"); err != nil || s != Fast {
+		t.Errorf("fast: %v %v", s, err)
+	}
+	if s, err := ParseScale(""); err != nil || s != Fast {
+		t.Errorf("empty: %v %v", s, err)
+	}
+	if s, err := ParseScale("full"); err != nil || s != Full {
+		t.Errorf("full: %v %v", s, err)
+	}
+	if _, err := ParseScale("bogus"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+	if Fast.String() != "fast" || Full.String() != "full" {
+		t.Error("scale names wrong")
+	}
+}
+
+func TestRegistryIntegrity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete registry entry %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	// Every table and figure of the evaluation must be present.
+	for _, id := range []string{"table1", "table2", "table3", "table4",
+		"fig2", "fig5", "fig6", "fig10", "fig11", "fig16", "fig17a",
+		"fig17b", "fig17c", "fig18", "fig19", "fig20", "fig21", "headline"} {
+		if _, ok := Find(id); !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find returned a non-existent experiment")
+	}
+}
+
+// The static and model-only experiments must run instantly and produce
+// non-empty output.
+func TestLightExperimentsRun(t *testing.T) {
+	for _, id := range []string{"table1", "table3", "table4", "fig2",
+		"fig5", "fig6", "fig10", "fig16", "fig21", "headline"} {
+		e, ok := Find(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		var sb strings.Builder
+		if err := e.Run(Fast, &sb); err != nil {
+			t.Errorf("%s failed: %v", id, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("%s produced no output", id)
+		}
+	}
+}
+
+func TestFigure5BasecallDominates(t *testing.T) {
+	rows := Figure5()
+	if len(rows) != 2 {
+		t.Fatalf("want 2 specimen rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if f := r.BasecallFraction(); f < 0.9 || f > 0.995 {
+			t.Errorf("viral %.3f%%: basecall fraction %.3f, paper ~0.96", r.ViralFraction*100, f)
+		}
+	}
+	if rows[1].BasecallSec <= rows[0].BasecallSec {
+		t.Error("0.1% specimen should need more basecalling than 1%")
+	}
+}
+
+func TestFigure10BufferEnvelope(t *testing.T) {
+	fit, noFit := 0, 0
+	for _, v := range Figure10() {
+		if 2*v.Bases <= 100*1024 {
+			fit++
+		} else {
+			noFit++
+		}
+	}
+	if noFit != 2 {
+		t.Errorf("%d viruses exceed the buffer, paper says 2 (smallpox, herpes)", noFit)
+	}
+	if fit < 10 {
+		t.Errorf("only %d epidemic viruses fit the buffer", fit)
+	}
+}
+
+func TestFigure21Monotone(t *testing.T) {
+	rows := Figure21()
+	if len(rows) < 5 {
+		t.Fatal("too few scale points")
+	}
+	for i, r := range rows {
+		// SF must never be slower than the GPU classifiers or no-filter.
+		if r.SFRuntimeSec > r.TitanRuntimeSec+1e-9 || r.SFRuntimeSec > r.NoFilterSec+1e-9 {
+			t.Errorf("scale %.0f: SF %.1f slower than Titan %.1f / noRU %.1f",
+				r.SequencerScale, r.SFRuntimeSec, r.TitanRuntimeSec, r.NoFilterSec)
+		}
+		// GPU pore fractions must shrink with scale.
+		if i > 0 && r.TitanPoreFraction > rows[i-1].TitanPoreFraction+1e-12 {
+			t.Error("Titan pore fraction increased with sequencer scale")
+		}
+	}
+	// At scale 100, GPU Read Until benefit is essentially gone.
+	last := rows[len(rows)-2] // scale 114
+	if ratio := last.TitanRuntimeSec / last.NoFilterSec; ratio < 0.9 {
+		t.Errorf("at 114x the GPU still shows %.2f of no-filter runtime; benefit should be gone", ratio)
+	}
+	if ratio := last.SFRuntimeSec / last.NoFilterSec; ratio > 0.5 {
+		t.Errorf("at 114x SquiggleFilter should retain most benefit, got ratio %.2f", ratio)
+	}
+}
+
+func TestHeadlinesWithinTolerance(t *testing.T) {
+	for _, h := range Headlines() {
+		if h.Paper == 0 {
+			continue
+		}
+		rel := (h.Model - h.Paper) / h.Paper
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.10 {
+			t.Errorf("%s: model %.3f vs paper %.3f (%.1f%% off)", h.Metric, h.Model, h.Paper, rel*100)
+		}
+	}
+}
+
+func TestBuildDatasetShape(t *testing.T) {
+	ds, err := buildDataset(Fast, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := accuracySizes(Fast)
+	if len(ds.targets) != spec.readsPerSide || len(ds.hosts) != spec.readsPerSide {
+		t.Fatalf("dataset sizes: %d targets, %d hosts", len(ds.targets), len(ds.hosts))
+	}
+	if ds.ref.Len() != 2*(spec.targetLen-5) {
+		t.Errorf("reference length %d", ds.ref.Len())
+	}
+	// Costs at a short prefix must already separate the medians.
+	tc, hc := ds.intCosts(500, sdtw.DefaultIntConfig())
+	var tSum, hSum float64
+	for _, v := range tc {
+		tSum += v
+	}
+	for _, v := range hc {
+		hSum += v
+	}
+	if tSum/float64(len(tc)) >= hSum/float64(len(hc)) {
+		t.Error("mean target cost not below mean host cost at 500 samples")
+	}
+}
+
+func TestBuildDatasetMutatedReference(t *testing.T) {
+	ds, err := buildDataset(Fast, 42, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := buildDataset(Fast, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	n := 200
+	for i := 0; i < n; i++ {
+		if ds.ref.Int8[i] == plain.ref.Int8[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("mutated reference identical to the original")
+	}
+}
+
+func TestAblationConfigsComplete(t *testing.T) {
+	cfgs := AblationConfigs()
+	if len(cfgs) != 6 {
+		t.Fatalf("want the paper's 6 configurations, got %d", len(cfgs))
+	}
+	if !cfgs[0].Cfg.AllowRefDeletion || cfgs[0].Cfg.Distance != sdtw.Squared {
+		t.Error("first config must be vanilla sDTW")
+	}
+	last := cfgs[len(cfgs)-1]
+	if !last.Integer || last.IntCfg.MatchBonus == 0 {
+		t.Error("last config must be the full hardware configuration")
+	}
+}
+
+// Smoke-test one data-driven experiment end to end at reduced size by
+// writing to a discard sink (Fast scale keeps this in seconds).
+func TestTable2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	e, _ := Find("table2")
+	if err := e.Run(Fast, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

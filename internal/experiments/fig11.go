@@ -1,0 +1,67 @@
+package experiments
+
+// Figure 11: distributions of sDTW alignment cost for target (lambda-like)
+// and host (human-like) reads at three prefix lengths, demonstrating that
+// a static threshold separates the classes and that separation improves
+// with prefix length.
+
+import (
+	"fmt"
+	"io"
+
+	"squigglefilter/internal/metrics"
+	"squigglefilter/internal/sdtw"
+)
+
+// Figure11Row summarizes the two cost distributions at one prefix length.
+type Figure11Row struct {
+	PrefixSamples int
+	Target        metrics.Summary
+	Host          metrics.Summary
+	Overlap       float64 // histogram overlap coefficient (0 = separable)
+	BestF1        float64
+	BestThreshold float64
+}
+
+// Figure11 computes cost distributions at the paper's three prefix
+// lengths.
+func Figure11(s Scale) ([]Figure11Row, error) {
+	ds, err := buildDataset(s, 1100, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sdtw.DefaultIntConfig()
+	rows := make([]Figure11Row, 0, 3)
+	for _, prefix := range []int{1000, 2000, 4000} {
+		t, h := ds.intCosts(prefix, cfg)
+		best := metrics.BestF1(t, h)
+		rows = append(rows, Figure11Row{
+			PrefixSamples: prefix,
+			Target:        metrics.Summarize(t),
+			Host:          metrics.Summarize(h),
+			Overlap:       metrics.OverlapCoefficient(t, h, 24),
+			BestF1:        best.F1,
+			BestThreshold: best.Threshold,
+		})
+	}
+	return rows, nil
+}
+
+func runFigure11(s Scale, w io.Writer) error {
+	rows, err := Figure11(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %22s %22s %8s %6s %10s\n",
+		"prefix", "target cost (p10/med/p90)", "host cost (p10/med/p90)", "overlap", "bestF1", "threshold")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %7.0f/%6.0f/%7.0f %8.0f/%6.0f/%7.0f %8.3f %6.3f %10.0f\n",
+			r.PrefixSamples,
+			r.Target.P10, r.Target.Median, r.Target.P90,
+			r.Host.P10, r.Host.Median, r.Host.P90,
+			r.Overlap, r.BestF1, r.BestThreshold)
+	}
+	fmt.Fprintln(w, "paper: distributions separate with a static threshold; overlap shrinks")
+	fmt.Fprintln(w, "as the prefix grows (slight overlap -> some misclassification)")
+	return nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+// Figure 16: classification latency (a) and throughput (b) of Guppy and
+// Guppy-lite on server/edge GPUs versus the SquiggleFilter accelerator,
+// with the MinION's and GridION's sequencing rates as reference lines.
+
+import (
+	"fmt"
+	"io"
+
+	"squigglefilter/internal/genome"
+	"squigglefilter/internal/gpu"
+	"squigglefilter/internal/hw"
+)
+
+// LatencyRow is one bar of Figure 16a.
+type LatencyRow struct {
+	System    string
+	LatencyMS float64
+}
+
+// ThroughputRow is one bar of Figure 16b (samples/second).
+type ThroughputRow struct {
+	System        string
+	SamplesPerSec float64
+}
+
+func covidRefLen() int  { return 2 * (genome.SARSCoV2Len - 5) }
+func lambdaRefLen() int { return 2 * (genome.LambdaPhageLen - 5) }
+
+// Figure16Latency returns the latency comparison.
+func Figure16Latency() []LatencyRow {
+	titan, jetson := gpu.TitanXP(), gpu.JetsonXavier()
+	return []LatencyRow{
+		{"Guppy / Titan XP", titan.GuppyLatency * 1e3},
+		{"Guppy / Jetson Xavier", jetson.GuppyLatency * 1e3},
+		{"Guppy-lite / Titan XP", titan.GuppyLiteLatency * 1e3},
+		{"Guppy-lite / Jetson Xavier", jetson.GuppyLiteLatency * 1e3},
+		{"SquiggleFilter (SARS-CoV-2)", hw.Latency(2000, covidRefLen()).Seconds() * 1e3},
+		{"SquiggleFilter (lambda)", hw.Latency(2000, lambdaRefLen()).Seconds() * 1e3},
+	}
+}
+
+// Figure16Throughput returns the Read Until classification throughput
+// comparison plus sequencer reference lines.
+func Figure16Throughput() ([]ThroughputRow, map[string]float64) {
+	titan, jetson := gpu.TitanXP(), gpu.JetsonXavier()
+	rows := []ThroughputRow{
+		{"Guppy / Titan XP", titan.GuppyReadUntil()},
+		{"Guppy / Jetson Xavier", jetson.GuppyReadUntil()},
+		{"Guppy-lite / Titan XP", titan.GuppyLiteReadUntil()},
+		{"Guppy-lite / Jetson Xavier", jetson.GuppyLiteReadUntil()},
+		{"SquiggleFilter 1 tile (lambda)", hw.TileThroughput(2000, lambdaRefLen())},
+		{"SquiggleFilter 5 tiles (lambda)", hw.DeviceThroughput(2000, lambdaRefLen(), hw.NumTiles)},
+		{"SquiggleFilter 5 tiles (SARS-CoV-2)", hw.DeviceThroughput(2000, covidRefLen(), hw.NumTiles)},
+	}
+	lines := map[string]float64{
+		"MinION max":  gpu.MinIONSamplesPerSec,
+		"GridION max": gpu.MinIONSamplesPerSec * gpu.GridIONScale,
+	}
+	return rows, lines
+}
+
+func runFigure16(_ Scale, w io.Writer) error {
+	fmt.Fprintln(w, "(a) classification latency")
+	for _, r := range Figure16Latency() {
+		fmt.Fprintf(w, "  %-36s %10.3f ms\n", r.System, r.LatencyMS)
+	}
+	fmt.Fprintln(w, "(b) Read Until classification throughput")
+	rows, lines := Figure16Throughput()
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-36s %10.2f M samples/s\n", r.System, r.SamplesPerSec/1e6)
+	}
+	for name, v := range map[string]float64{"MinION max": lines["MinION max"], "GridION max": lines["GridION max"]} {
+		fmt.Fprintf(w, "  reference line: %-20s %10.2f M samples/s\n", name, v/1e6)
+	}
+	fmt.Fprintln(w, "paper: Jetson cannot keep up with the MinION; Guppy latency >1s makes")
+	fmt.Fprintln(w, "Read Until impractical; SquiggleFilter exceeds GridION rates with margin")
+	return nil
+}

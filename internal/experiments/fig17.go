@@ -1,0 +1,256 @@
+package experiments
+
+// Figure 17: (a) Read Until classification accuracy of raw-signal sDTW vs
+// the basecall+align baseline across prefix lengths and thresholds;
+// (b, c) expected sequencing runtime as a function of the classifier
+// operating point, for the lambda-phage and SARS-CoV-2 datasets, via the
+// analytical model of internal/readuntil.
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"squigglefilter/internal/align"
+	"squigglefilter/internal/basecall"
+	"squigglefilter/internal/genome"
+	"squigglefilter/internal/hw"
+	"squigglefilter/internal/metrics"
+	"squigglefilter/internal/readuntil"
+	"squigglefilter/internal/sdtw"
+)
+
+// Figure17aRow compares the two classifiers at one prefix length.
+type Figure17aRow struct {
+	PrefixSamples int
+	SDTWAUC       float64
+	SDTWBestF1    float64
+	BaseAUC       float64
+	BaseBestF1    float64
+}
+
+// classifierSweeps computes threshold sweeps for both classifiers on ds.
+func classifierSweeps(ds *dataset, prefixSamples int, emuSeed int64) (sdtwPts, basePts []metrics.SweepPoint) {
+	t, h := ds.intCosts(prefixSamples, sdtw.DefaultIntConfig())
+	sdtwPts = metrics.Sweep(t, h)
+
+	// Baseline: Guppy-lite-grade basecalls of the same prefix, classified
+	// by minimizer chain score (negated: lower = more target-like).
+	ix := align.BuildIndex(ds.target, align.DefaultIndexConfig())
+	em := basecall.GuppyLite()
+	rng := newRand(emuSeed)
+	prefixBases := prefixSamples / 10
+	score := func(bases genome.Sequence) float64 {
+		n := prefixBases
+		if n > len(bases) {
+			n = len(bases)
+		}
+		called := em.Emulate(rng, bases[:n])
+		return -float64(ix.Map(called).Score)
+	}
+	var bt, bh []float64
+	for _, r := range ds.targets {
+		bt = append(bt, score(r.Bases))
+	}
+	for _, r := range ds.hosts {
+		bh = append(bh, score(r.Bases))
+	}
+	basePts = metrics.Sweep(bt, bh)
+	return sdtwPts, basePts
+}
+
+// Figure17a computes accuracy curves at the paper's prefix lengths.
+func Figure17a(s Scale) ([]Figure17aRow, error) {
+	ds, err := buildDataset(s, 1700, 0)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure17aRow, 0, 3)
+	for _, prefix := range []int{1000, 2000, 4000} {
+		sp, bp := classifierSweeps(ds, prefix, 1750+int64(prefix))
+		rows = append(rows, Figure17aRow{
+			PrefixSamples: prefix,
+			SDTWAUC:       metrics.AUC(sp),
+			SDTWBestF1:    bestF1Of(sp),
+			BaseAUC:       metrics.AUC(bp),
+			BaseBestF1:    bestF1Of(bp),
+		})
+	}
+	return rows, nil
+}
+
+func bestF1Of(pts []metrics.SweepPoint) float64 {
+	best := 0.0
+	for _, p := range pts {
+		if p.F1 > best {
+			best = p.F1
+		}
+	}
+	return best
+}
+
+func runFigure17a(s Scale, w io.Writer) error {
+	rows, err := Figure17a(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %10s %10s %14s %14s\n", "prefix", "sDTW AUC", "sDTW F1", "base+align AUC", "base+align F1")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %10.4f %10.4f %14.4f %14.4f\n",
+			r.PrefixSamples, r.SDTWAUC, r.SDTWBestF1, r.BaseAUC, r.BaseBestF1)
+	}
+	fmt.Fprintln(w, "paper: basecall+align slightly outperforms sDTW in pure accuracy")
+	fmt.Fprintln(w, "(mature scoring heuristics); both improve with prefix length")
+	return nil
+}
+
+// Figure17bRow is one system's best operating point.
+type Figure17bRow struct {
+	System         string
+	BestRuntimeSec float64
+	TPR, FPR       float64
+	PrefixSamples  int
+}
+
+// figure17Runtime computes runtime curves for one dataset/genome pair and
+// returns the per-system minima plus the no-filter baseline.
+func figure17Runtime(s Scale, seed int64, genomeLen int) ([]Figure17bRow, float64, error) {
+	ds, err := buildDataset(s, seed, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	params := readuntil.DefaultParams(genomeLen, 0.01)
+	sfLatency := hw.Latency(2000, ds.ref.Len()).Seconds()
+
+	minOver := func(pts []metrics.SweepPoint, prefix int, latency float64) Figure17bRow {
+		best := Figure17bRow{BestRuntimeSec: math.Inf(1)}
+		for _, p := range pts {
+			c := readuntil.ClassifierModel{
+				TPR:         p.TPR,
+				FPR:         p.FPR,
+				PrefixBases: float64(prefix) / 10,
+				LatencySec:  latency,
+			}
+			if rt := params.Runtime(c); rt < best.BestRuntimeSec {
+				best = Figure17bRow{
+					BestRuntimeSec: rt,
+					TPR:            p.TPR, FPR: p.FPR,
+					PrefixSamples: prefix,
+				}
+			}
+		}
+		return best
+	}
+
+	var rows []Figure17bRow
+	// SquiggleFilter: sweep every prefix, keep the global best.
+	sfBest := Figure17bRow{System: "SquiggleFilter (single threshold)", BestRuntimeSec: math.Inf(1)}
+	sweeps := map[int][]metrics.SweepPoint{}
+	for _, prefix := range []int{1000, 2000, 4000} {
+		sp, _ := classifierSweeps(ds, prefix, seed+int64(prefix))
+		sweeps[prefix] = sp
+		if b := minOver(sp, prefix, sfLatency); b.BestRuntimeSec < sfBest.BestRuntimeSec {
+			b.System = sfBest.System
+			sfBest = b
+		}
+	}
+	rows = append(rows, sfBest)
+
+	// Guppy-lite baseline: its accuracy sweep at 2,000 samples plus the
+	// measured 149 ms decision latency.
+	_, bp := classifierSweeps(ds, 2000, seed+9999)
+	glBest := minOver(bp, 2000, 0.149)
+	glBest.System = "Guppy-lite + MiniMap2-like"
+	rows = append(rows, glBest)
+
+	// Multi-stage SquiggleFilter: grid-search a first stage at 1,000
+	// samples against a second stage at 2,000 or 4,000, combining the
+	// stages' marginal operating points under an independence
+	// approximation. The degenerate keep-all second stage reduces to
+	// single-stage filtering, so multi-stage can only improve.
+	stage1Cands := tprLadder(sweeps[1000], []float64{0.999, 0.99, 0.97, 0.92, 0.85, 0.78, 0.7})
+	multiBest := Figure17bRow{System: "SquiggleFilter (multi-stage)", BestRuntimeSec: math.Inf(1)}
+	for _, s1 := range stage1Cands {
+		for _, prefix2 := range []int{2000, 4000} {
+			cands2 := tprLadder(sweeps[prefix2], []float64{0.999, 0.99, 0.97, 0.92, 0.85, 0.78, 0.7})
+			cands2 = append(cands2, metrics.SweepPoint{TPR: 1, FPR: 1}) // keep-all
+			for _, s2 := range cands2 {
+				stages := []readuntil.StageModel{
+					{PrefixBases: 100, RejectHost: 1 - s1.FPR, RejectTarget: 1 - s1.TPR},
+					{PrefixBases: float64(prefix2) / 10, RejectHost: 1 - s2.FPR, RejectTarget: 1 - s2.TPR},
+				}
+				rt := params.RuntimeStaged(stages, sfLatency)
+				if rt < multiBest.BestRuntimeSec {
+					multiBest.BestRuntimeSec = rt
+					multiBest.TPR = s1.TPR * s2.TPR
+					multiBest.FPR = s1.FPR * s2.FPR
+					multiBest.PrefixSamples = prefix2
+				}
+			}
+		}
+	}
+	rows = append(rows, multiBest)
+	return rows, params.RuntimeNoRU(), nil
+}
+
+// tprLadder picks, for each minimum TPR, the sweep point with the lowest
+// FPR still meeting it (sweeps are threshold-ordered, so the first
+// qualifying point qualifies).
+func tprLadder(pts []metrics.SweepPoint, minTPRs []float64) []metrics.SweepPoint {
+	var out []metrics.SweepPoint
+	for _, want := range minTPRs {
+		for _, p := range pts {
+			if p.TPR >= want {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func bestF1Point(pts []metrics.SweepPoint) metrics.SweepPoint {
+	var best metrics.SweepPoint
+	for _, p := range pts {
+		if p.F1 > best.F1 {
+			best = p
+		}
+	}
+	return best
+}
+
+func runFigure17b(s Scale, w io.Writer) error {
+	genomeLen := genome.LambdaPhageLen
+	rows, noRU, err := figure17Runtime(s, 1700, genomeLen)
+	if err != nil {
+		return err
+	}
+	return printFigure17(w, "lambda phage", rows, noRU)
+}
+
+func runFigure17c(s Scale, w io.Writer) error {
+	genomeLen := genome.SARSCoV2Len
+	rows, noRU, err := figure17Runtime(s, 1770, genomeLen)
+	if err != nil {
+		return err
+	}
+	return printFigure17(w, "SARS-CoV-2", rows, noRU)
+}
+
+func printFigure17(w io.Writer, name string, rows []Figure17bRow, noRU float64) error {
+	fmt.Fprintf(w, "dataset: %s; 1%% viral specimen, 30x coverage goal\n", name)
+	fmt.Fprintf(w, "%-32s %12s %8s %8s %8s\n", "system", "runtime(s)", "TPR", "FPR", "prefix")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-32s %12.0f %8.3f %8.3f %8d\n",
+			r.System, r.BestRuntimeSec, r.TPR, r.FPR, r.PrefixSamples)
+	}
+	fmt.Fprintf(w, "%-32s %12.0f\n", "no Read Until", noRU)
+	if len(rows) >= 3 {
+		sf, gl, ms := rows[0], rows[1], rows[2]
+		fmt.Fprintf(w, "SquiggleFilter vs Guppy-lite: %.1f%% faster (paper: 12.9%% on lambda)\n",
+			(1-sf.BestRuntimeSec/gl.BestRuntimeSec)*100)
+		fmt.Fprintf(w, "multi-stage vs single: %.1f%% faster (paper: further 13.3%%)\n",
+			(1-ms.BestRuntimeSec/sf.BestRuntimeSec)*100)
+	}
+	return nil
+}

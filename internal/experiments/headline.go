@@ -1,0 +1,55 @@
+package experiments
+
+// Section 7 headline numbers, each derived from the models rather than
+// hard-coded: the 274x throughput ratio, the 3481x latency ratio, the
+// 114x scalability headroom, per-genome latencies and throughputs, and
+// the operation-count comparison of Section 4.8.
+
+import (
+	"fmt"
+	"io"
+
+	"squigglefilter/internal/genome"
+	"squigglefilter/internal/gpu"
+	"squigglefilter/internal/hw"
+	"squigglefilter/internal/sdtw"
+)
+
+// Headline is the derived-vs-paper comparison.
+type Headline struct {
+	Metric string
+	Model  float64
+	Paper  float64
+	Unit   string
+}
+
+// Headlines computes every headline metric.
+func Headlines() []Headline {
+	covid := 2 * (genome.SARSCoV2Len - 5)
+	lambda := 2 * (genome.LambdaPhageLen - 5)
+	titan := gpu.TitanXP()
+	sf5Lambda := hw.DeviceThroughput(2000, lambda, hw.NumTiles)
+	return []Headline{
+		{"latency, SARS-CoV-2 (2k samples)", hw.Latency(2000, covid).Seconds() * 1e3, 0.027, "ms"},
+		{"latency, lambda (2k samples)", hw.Latency(2000, lambda).Seconds() * 1e3, 0.043, "ms"},
+		{"tile throughput, SARS-CoV-2", hw.TileThroughput(2000, covid) / 1e6, 74.63, "Msamples/s"},
+		{"tile throughput, lambda", hw.TileThroughput(2000, lambda) / 1e6, 46.73, "Msamples/s"},
+		{"5-tile throughput, lambda", sf5Lambda / 1e6, 233.65, "Msamples/s"},
+		{"throughput vs GPU Read Until", sf5Lambda / titan.GuppyLiteReadUntil(), 274, "x"},
+		{"latency vs Guppy-lite", titan.GuppyLiteLatency / hw.Latency(2000, lambda).Seconds(), 3481, "x"},
+		{"sequencer scaling headroom", hw.ScalabilityHeadroom(2000, lambda, gpu.MinIONSamplesPerSec), 114, "x"},
+		{"ASIC area (5 tiles)", hw.ASICAreaMM2(hw.NumTiles), 13.25, "mm2"},
+		{"ASIC power (5 tiles)", hw.ASICPowerW(hw.NumTiles), 14.31, "W"},
+		{"sDTW ops per classification", float64(sdtw.TotalOps(2000, covid)) / 1e6, 1400, "Mops"},
+		{"Guppy-lite ops per chunk", gpu.GuppyLiteOpsPerChunk / 1e6, 141, "Mops"},
+		{"Guppy ops per chunk", gpu.GuppyOpsPerChunk / 1e6, 2412, "Mops"},
+	}
+}
+
+func runHeadline(_ Scale, w io.Writer) error {
+	fmt.Fprintf(w, "%-36s %12s %12s %s\n", "metric", "model", "paper", "unit")
+	for _, h := range Headlines() {
+		fmt.Fprintf(w, "%-36s %12.3f %12.3f %s\n", h.Metric, h.Model, h.Paper, h.Unit)
+	}
+	return nil
+}

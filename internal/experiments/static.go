@@ -1,0 +1,191 @@
+package experiments
+
+// Static survey tables and background figures. These reproduce the
+// paper's context-setting artifacts whose content is data collection, not
+// computation: the virus-detector survey (Table 1), the device spec table
+// (Table 3), the US testing timeline (Figure 2), the sequencing-throughput
+// trend (Figure 6), and the epidemic-virus genome-length catalogue
+// (Figure 10, which also justifies the 100 KB reference buffer).
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"squigglefilter/internal/gpu"
+	"squigglefilter/internal/hw"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// DetectorRow is one row of Table 1.
+type DetectorRow struct {
+	Test         string
+	Diagnostic   string
+	Programmable bool
+	TimeMin      string
+	CostUSD      string
+}
+
+// Table1 reproduces the paper's comparison of virus detectors.
+func Table1() []DetectorRow {
+	return []DetectorRow{
+		{"Antigen paper test", "presence", false, "15", "5"},
+		{"RT-LAMP", "presence", false, "60", "15"},
+		{"RT-PCR", "presence", false, "120-240", "<10"},
+		{"ARTIC (98 targets)", "98 targets", false, "305", "100"},
+		{"LamPORE (3 targets)", "3 targets", false, "<65", "-"},
+		{"RNA seq, 1% virus", "whole genome", true, "240", "110"},
+		{"RNA seq, 0.1% virus", "whole genome", true, "1206", "190"},
+		{"DNA seq, 1% virus", "whole genome", true, "320", "105"},
+		{"DNA seq, 0.1% virus", "whole genome", true, "470", "120"},
+	}
+}
+
+func runTable1(_ Scale, w io.Writer) error {
+	fmt.Fprintf(w, "%-24s %-14s %-13s %-9s %s\n", "Test", "Diagnostic", "Programmable", "Time(min)", "Cost($)")
+	for _, r := range Table1() {
+		prog := ""
+		if r.Programmable {
+			prog = "yes"
+		}
+		fmt.Fprintf(w, "%-24s %-14s %-13s %-9s %s\n", r.Test, r.Diagnostic, prog, r.TimeMin, r.CostUSD)
+	}
+	fmt.Fprintln(w, "note: only sequencing-based tests are programmable to novel viruses")
+	return nil
+}
+
+// DeviceRow is one row of Table 3.
+type DeviceRow struct {
+	Role     string
+	Model    string
+	Cores    int
+	ClockMHz int
+}
+
+// Table3 reproduces the evaluated-device spec table.
+func Table3() []DeviceRow {
+	return []DeviceRow{
+		{"Edge GPU", "Jetson AGX Xavier (Volta)", 512, 1377},
+		{"Edge CPU", "ARM v8.2", 8, 2265},
+		{"GPU", "Titan XP (Pascal)", 3840, 1582},
+		{"CPU", "2x Intel Xeon E5-2697v3", 56, 2600},
+	}
+}
+
+func runTable3(_ Scale, w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %-28s %7s %9s\n", "Role", "Model", "Cores", "Clock/MHz")
+	for _, r := range Table3() {
+		fmt.Fprintf(w, "%-10s %-28s %7d %9d\n", r.Role, r.Model, r.Cores, r.ClockMHz)
+	}
+	fmt.Fprintf(w, "calibrated Guppy-lite offline throughput: Titan %.2f M samples/s, Jetson %.2f M samples/s\n",
+		gpu.TitanXP().GuppyLiteOffline/1e6, gpu.JetsonXavier().GuppyLiteOffline/1e6)
+	return nil
+}
+
+// TestingSample is one point of Figure 2's US testing timeline
+// (Our World in Data, 7-day averages, thousands of tests/day).
+type TestingSample struct {
+	Month        string
+	TestsPerDayK float64
+}
+
+// Figure2 returns the testing-capacity progression.
+func Figure2() []TestingSample {
+	return []TestingSample{
+		{"2020-03", 22}, {"2020-04", 150}, {"2020-05", 300},
+		{"2020-06", 480}, {"2020-07", 750}, {"2020-08", 690},
+		{"2020-09", 800}, {"2020-10", 1000}, {"2020-11", 1400},
+		{"2020-12", 1750},
+	}
+}
+
+func runFigure2(_ Scale, w io.Writer) error {
+	fmt.Fprintln(w, "US COVID-19 tests per day (thousands, 7-day average)")
+	for _, p := range Figure2() {
+		fmt.Fprintf(w, "%s %7.0f\n", p.Month, p.TestsPerDayK)
+	}
+	fmt.Fprintln(w, "takeaway: mass testing lagged the outbreak by months")
+	return nil
+}
+
+// ThroughputSample is one point of Figure 6's sequencing-throughput trend.
+type ThroughputSample struct {
+	Year     int
+	Platform string
+	GbPerRun float64
+}
+
+// Figure6 returns nanopore sequencing throughput growth.
+func Figure6() []ThroughputSample {
+	return []ThroughputSample{
+		{2014, "MinION early access", 0.5},
+		{2016, "MinION R9", 5},
+		{2017, "GridION", 50},
+		{2018, "PromethION 24", 1500},
+		{2019, "PromethION 48", 7600},
+	}
+}
+
+func runFigure6(_ Scale, w io.Writer) error {
+	fmt.Fprintln(w, "nanopore throughput per run (Gb)")
+	prev := 0.0
+	for _, p := range Figure6() {
+		growth := ""
+		if prev > 0 {
+			growth = fmt.Sprintf("(%.0fx)", p.GbPerRun/prev)
+		}
+		fmt.Fprintf(w, "%d %-22s %8.1f %s\n", p.Year, p.Platform, p.GbPerRun, growth)
+		prev = p.GbPerRun
+	}
+	fmt.Fprintln(w, "takeaway: exponential growth; classifiers must scale 10-100x")
+	return nil
+}
+
+// VirusRow is one entry of Figure 10's epidemic-virus catalogue.
+type VirusRow struct {
+	Virus    string
+	Bases    int
+	Stranded string // "ss" or "ds"
+}
+
+// Figure10 returns epidemic virus genome lengths.
+func Figure10() []VirusRow {
+	return []VirusRow{
+		{"Hepatitis B", 3200, "ds"},
+		{"HIV", 9700, "ss"},
+		{"West Nile", 11000, "ss"},
+		{"Dengue", 10700, "ss"},
+		{"Zika", 10800, "ss"},
+		{"Yellow fever", 11000, "ss"},
+		{"Influenza A", 13500, "ss"},
+		{"Measles", 15900, "ss"},
+		{"Mumps", 15400, "ss"},
+		{"Ebola", 19000, "ss"},
+		{"SARS-CoV", 29700, "ss"},
+		{"SARS-CoV-2", 29903, "ss"},
+		{"MERS-CoV", 30100, "ss"},
+		{"Lambda phage (control)", 48502, "ds"},
+		{"Smallpox", 186000, "ds"},
+		{"Herpes simplex", 152000, "ds"},
+	}
+}
+
+func runFigure10(_ Scale, w io.Writer) error {
+	fmt.Fprintf(w, "%-24s %9s %4s %s\n", "Virus", "Bases", "Str", "fits 100KB reference buffer?")
+	for _, v := range Figure10() {
+		samples := v.Bases
+		if v.Stranded == "ss" {
+			samples = 2 * v.Bases // both strands after amplification
+		} else {
+			samples = 2 * v.Bases
+		}
+		fits := "yes"
+		if samples > hw.RefBufferBytes {
+			fits = "NO (exceeds buffer)"
+		}
+		fmt.Fprintf(w, "%-24s %9d %4s %s\n", v.Virus, v.Bases, v.Stranded, fits)
+	}
+	fmt.Fprintln(w, "takeaway: all epidemic viruses except smallpox/herpes fit the filter")
+	return nil
+}

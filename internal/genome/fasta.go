@@ -1,0 +1,91 @@
+package genome
+
+// Minimal FASTA support so references can be exchanged with standard
+// bioinformatics tooling (the paper's workflow distributes novel-virus
+// references as FASTA). Multi-record files are supported; sequences are
+// restricted to the canonical ACGT alphabet this pipeline operates on.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadFASTA parses all records from r. Lowercase bases are accepted and
+// uppercased; any non-ACGT base is an error (the squiggle pipeline has no
+// ambiguity codes).
+func ReadFASTA(r io.Reader) ([]*Genome, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []*Genome
+	var name string
+	var sb strings.Builder
+	flush := func() error {
+		if name == "" && sb.Len() == 0 {
+			return nil
+		}
+		if name == "" {
+			return fmt.Errorf("genome: FASTA sequence data before any '>' header")
+		}
+		seq, err := FromString(sb.String())
+		if err != nil {
+			return fmt.Errorf("genome: record %q: %w", name, err)
+		}
+		if len(seq) == 0 {
+			return fmt.Errorf("genome: record %q is empty", name)
+		}
+		out = append(out, &Genome{Name: name, Seq: seq})
+		sb.Reset()
+		return nil
+	}
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, ">"):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			fields := strings.Fields(line[1:])
+			if len(fields) == 0 {
+				return nil, fmt.Errorf("genome: FASTA record with empty name")
+			}
+			name = fields[0]
+		default:
+			sb.WriteString(line)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("genome: no FASTA records found")
+	}
+	return out, nil
+}
+
+// WriteFASTA writes records to w with 70-column wrapping.
+func WriteFASTA(w io.Writer, genomes ...*Genome) error {
+	bw := bufio.NewWriter(w)
+	for _, g := range genomes {
+		if _, err := fmt.Fprintf(bw, ">%s\n", g.Name); err != nil {
+			return err
+		}
+		s := g.Seq.String()
+		for len(s) > 0 {
+			n := 70
+			if n > len(s) {
+				n = len(s)
+			}
+			if _, err := fmt.Fprintln(bw, s[:n]); err != nil {
+				return err
+			}
+			s = s[n:]
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,325 @@
+// Package genome provides nucleotide sequence types and generators used
+// throughout SquiggleFilter: seeded synthetic genomes standing in for the
+// SARS-CoV-2, lambda phage, and human references, mutation machinery for
+// strain construction (Table 2, Figure 19), and basic sequence algebra
+// (reverse complement, fragment extraction).
+//
+// All randomness is drawn from caller-supplied seeds so every dataset in the
+// repository is reproducible.
+package genome
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Base is a single nucleotide. Only the four canonical DNA bases are
+// represented; the squiggle pipeline has no concept of ambiguity codes.
+type Base byte
+
+// Canonical bases. Their byte values are the ASCII letters so a []Base can
+// be converted to a string directly.
+const (
+	A Base = 'A'
+	C Base = 'C'
+	G Base = 'G'
+	T Base = 'T'
+)
+
+// Alphabet lists the four bases in the fixed order used for k-mer encoding.
+var Alphabet = [4]Base{A, C, G, T}
+
+// Code returns the 2-bit encoding of b (A=0, C=1, G=2, T=3).
+// It panics on a non-canonical base; sequences built through this package
+// only ever contain canonical bases.
+func (b Base) Code() int {
+	switch b {
+	case A:
+		return 0
+	case C:
+		return 1
+	case G:
+		return 2
+	case T:
+		return 3
+	}
+	panic(fmt.Sprintf("genome: invalid base %q", byte(b)))
+}
+
+// Complement returns the Watson-Crick complement of b.
+func (b Base) Complement() Base {
+	switch b {
+	case A:
+		return T
+	case C:
+		return G
+	case G:
+		return C
+	case T:
+		return A
+	}
+	panic(fmt.Sprintf("genome: invalid base %q", byte(b)))
+}
+
+// FromCode is the inverse of Base.Code.
+func FromCode(code int) Base {
+	return Alphabet[code&3]
+}
+
+// Sequence is an immutable-by-convention run of bases. Functions in this
+// package never modify a Sequence they are handed; they return copies.
+type Sequence []Base
+
+// String renders the sequence as an ASCII string of base letters.
+func (s Sequence) String() string { return string(sequenceToBytes(s)) }
+
+func sequenceToBytes(s Sequence) []byte {
+	b := make([]byte, len(s))
+	for i, base := range s {
+		b[i] = byte(base)
+	}
+	return b
+}
+
+// FromString parses an ASCII sequence (case-insensitive). It returns an
+// error on any character outside ACGT.
+func FromString(text string) (Sequence, error) {
+	text = strings.ToUpper(strings.TrimSpace(text))
+	seq := make(Sequence, 0, len(text))
+	for i := 0; i < len(text); i++ {
+		switch ch := text[i]; ch {
+		case 'A', 'C', 'G', 'T':
+			seq = append(seq, Base(ch))
+		case '\n', '\r', ' ', '\t':
+			// permit embedded whitespace (FASTA-style wrapped lines)
+		default:
+			return nil, fmt.Errorf("genome: invalid base %q at position %d", ch, i)
+		}
+	}
+	return seq, nil
+}
+
+// Clone returns an independent copy of s.
+func (s Sequence) Clone() Sequence {
+	out := make(Sequence, len(s))
+	copy(out, s)
+	return out
+}
+
+// ReverseComplement returns the reverse complement strand of s.
+func (s Sequence) ReverseComplement() Sequence {
+	out := make(Sequence, len(s))
+	for i, b := range s {
+		out[len(s)-1-i] = b.Complement()
+	}
+	return out
+}
+
+// GC returns the fraction of G/C bases in s, or 0 for an empty sequence.
+func (s Sequence) GC() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	n := 0
+	for _, b := range s {
+		if b == G || b == C {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s))
+}
+
+// Fragment extracts the half-open interval [start, start+length) of s,
+// clamping to the sequence bounds. The returned slice aliases s.
+func (s Sequence) Fragment(start, length int) Sequence {
+	if start < 0 {
+		start = 0
+	}
+	if start > len(s) {
+		start = len(s)
+	}
+	end := start + length
+	if end > len(s) {
+		end = len(s)
+	}
+	return s[start:end]
+}
+
+// Random returns a uniformly random sequence of n bases drawn from rng.
+func Random(rng *rand.Rand, n int) Sequence {
+	seq := make(Sequence, n)
+	for i := range seq {
+		seq[i] = Alphabet[rng.Intn(4)]
+	}
+	return seq
+}
+
+// Genome is a named reference sequence, optionally double stranded.
+// Double-stranded genomes (DNA viruses such as lambda phage) are matched
+// against both strands during filtering; single-stranded genomes
+// (most epidemic RNA viruses) still produce reads from either orientation
+// after amplification, so SquiggleFilter always aligns to both strands.
+type Genome struct {
+	Name           string
+	Seq            Sequence
+	DoubleStranded bool
+}
+
+// Len returns the number of bases in the genome.
+func (g *Genome) Len() int { return len(g.Seq) }
+
+// Paper reference genome lengths. The synthetic stand-ins are generated at
+// exactly these lengths so every cycle count, latency, and throughput figure
+// matches the paper's operating points.
+const (
+	// SARSCoV2Len is the length of the Wuhan-Hu-1 reference (NC_045512.2).
+	SARSCoV2Len = 29903
+	// LambdaPhageLen is the length of the lambda phage reference (NC_001416).
+	LambdaPhageLen = 48502
+	// HumanSurrogateLen is the length of the synthetic "human background"
+	// genome that non-target reads are drawn from. The real human genome is
+	// 3 Gb; classification behaviour only requires that background reads be
+	// independent of the target reference, so a 2 Mb surrogate suffices and
+	// keeps datasets laptop-sized.
+	HumanSurrogateLen = 2_000_000
+)
+
+// Named dataset seeds. Fixed so that "the lambda dataset" is the same
+// sequence in every test, example, and benchmark.
+const (
+	SeedSARSCoV2 = 0x5a25c0f2
+	SeedLambda   = 0x1a3bda
+	SeedHuman    = 0x4b0d1e5
+)
+
+// SARSCoV2 returns the synthetic SARS-CoV-2 stand-in reference.
+func SARSCoV2() *Genome {
+	return &Genome{
+		Name: "SARS-CoV-2-synthetic",
+		Seq:  Random(rand.New(rand.NewSource(SeedSARSCoV2)), SARSCoV2Len),
+	}
+}
+
+// LambdaPhage returns the synthetic lambda phage stand-in reference.
+func LambdaPhage() *Genome {
+	return &Genome{
+		Name:           "lambda-phage-synthetic",
+		Seq:            Random(rand.New(rand.NewSource(SeedLambda)), LambdaPhageLen),
+		DoubleStranded: true,
+	}
+}
+
+// HumanSurrogate returns the synthetic host-background genome.
+func HumanSurrogate() *Genome {
+	return &Genome{
+		Name:           "human-surrogate",
+		Seq:            Random(rand.New(rand.NewSource(SeedHuman)), HumanSurrogateLen),
+		DoubleStranded: true,
+	}
+}
+
+// Mutation is a single-nucleotide substitution at Pos from Ref to Alt.
+// The paper observed zero indels between SARS-CoV-2 strains (Table 2), so
+// strain construction uses substitutions only; the squiggle simulator and
+// aligner nevertheless handle indel-bearing reads (sequencing errors).
+type Mutation struct {
+	Pos int
+	Ref Base
+	Alt Base
+}
+
+// String renders the mutation in the conventional REF<POS>ALT form
+// (1-based position, as in variant reports).
+func (m Mutation) String() string {
+	return fmt.Sprintf("%c%d%c", byte(m.Ref), m.Pos+1, byte(m.Alt))
+}
+
+// Mutate returns a copy of seq with exactly n distinct single-base
+// substitutions applied at positions drawn from rng, together with the
+// mutation list sorted by position. Each substituted base always differs
+// from the original. Mutate panics if n exceeds the sequence length.
+func Mutate(rng *rand.Rand, seq Sequence, n int) (Sequence, []Mutation) {
+	if n > len(seq) {
+		panic(fmt.Sprintf("genome: cannot place %d mutations in %d bases", n, len(seq)))
+	}
+	out := seq.Clone()
+	muts := make([]Mutation, 0, n)
+	used := make(map[int]bool, n)
+	for len(muts) < n {
+		pos := rng.Intn(len(seq))
+		if used[pos] {
+			continue
+		}
+		used[pos] = true
+		ref := out[pos]
+		alt := ref
+		for alt == ref {
+			alt = Alphabet[rng.Intn(4)]
+		}
+		out[pos] = alt
+		muts = append(muts, Mutation{Pos: pos, Ref: ref, Alt: alt})
+	}
+	sortMutations(muts)
+	return out, muts
+}
+
+func sortMutations(muts []Mutation) {
+	// insertion sort: mutation lists are short (tens of entries)
+	for i := 1; i < len(muts); i++ {
+		for j := i; j > 0 && muts[j-1].Pos > muts[j].Pos; j-- {
+			muts[j-1], muts[j] = muts[j], muts[j-1]
+		}
+	}
+}
+
+// Diff reports every position where a and b differ, as mutations from a
+// to b. The sequences must have equal length.
+func Diff(a, b Sequence) ([]Mutation, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("genome: diff length mismatch %d vs %d", len(a), len(b))
+	}
+	var muts []Mutation
+	for i := range a {
+		if a[i] != b[i] {
+			muts = append(muts, Mutation{Pos: i, Ref: a[i], Alt: b[i]})
+		}
+	}
+	return muts, nil
+}
+
+// Strain is a named variant of a reference genome, mirroring the paper's
+// Table 2 (NextStrain clades with 17-23 substitutions from Wuhan).
+type Strain struct {
+	Clade     string
+	Seq       Sequence
+	Mutations []Mutation
+}
+
+// CladeSpec describes a strain to synthesize: its name and mutation count.
+type CladeSpec struct {
+	Clade     string
+	Mutations int
+}
+
+// Table2Clades reproduces the paper's Table 2 strain set: five NextStrain
+// clades with the reported substitution counts relative to the reference.
+var Table2Clades = []CladeSpec{
+	{Clade: "19A", Mutations: 23},
+	{Clade: "19B", Mutations: 18},
+	{Clade: "20A", Mutations: 22},
+	{Clade: "20B", Mutations: 17},
+	{Clade: "20C", Mutations: 17},
+}
+
+// MakeStrains synthesizes one strain per spec by applying the requested
+// number of substitutions to ref with independent sub-seeds of seed.
+func MakeStrains(seed int64, ref Sequence, specs []CladeSpec) []Strain {
+	strains := make([]Strain, len(specs))
+	for i, spec := range specs {
+		rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+		seq, muts := Mutate(rng, ref, spec.Mutations)
+		strains[i] = Strain{Clade: spec.Clade, Seq: seq, Mutations: muts}
+	}
+	return strains
+}

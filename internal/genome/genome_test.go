@@ -1,0 +1,262 @@
+package genome
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseCodeRoundTrip(t *testing.T) {
+	for code := 0; code < 4; code++ {
+		b := FromCode(code)
+		if b.Code() != code {
+			t.Errorf("FromCode(%d).Code() = %d", code, b.Code())
+		}
+	}
+}
+
+func TestBaseComplement(t *testing.T) {
+	pairs := map[Base]Base{A: T, T: A, C: G, G: C}
+	for b, want := range pairs {
+		if got := b.Complement(); got != want {
+			t.Errorf("Complement(%c) = %c, want %c", b, got, want)
+		}
+	}
+}
+
+func TestInvalidBasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid base")
+		}
+	}()
+	Base('N').Code()
+}
+
+func TestFromString(t *testing.T) {
+	seq, err := FromString("acgt\nACGT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != "ACGTACGT" {
+		t.Errorf("got %q", seq.String())
+	}
+}
+
+func TestFromStringRejectsAmbiguity(t *testing.T) {
+	if _, err := FromString("ACGN"); err == nil {
+		t.Error("expected error for N base")
+	}
+}
+
+func TestReverseComplementInvolution(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seq := Random(rng, int(nRaw))
+		back := seq.ReverseComplement().ReverseComplement()
+		return seq.String() == back.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseComplementKnown(t *testing.T) {
+	seq, _ := FromString("AACGT")
+	if got := seq.ReverseComplement().String(); got != "ACGTT" {
+		t.Errorf("revcomp = %q, want ACGTT", got)
+	}
+}
+
+func TestRandomDeterminism(t *testing.T) {
+	a := Random(rand.New(rand.NewSource(7)), 500)
+	b := Random(rand.New(rand.NewSource(7)), 500)
+	if a.String() != b.String() {
+		t.Error("same seed produced different sequences")
+	}
+	c := Random(rand.New(rand.NewSource(8)), 500)
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical 500-base sequences")
+	}
+}
+
+func TestRandomComposition(t *testing.T) {
+	seq := Random(rand.New(rand.NewSource(1)), 100000)
+	gc := seq.GC()
+	if gc < 0.48 || gc > 0.52 {
+		t.Errorf("GC of uniform random genome = %.3f, want ~0.5", gc)
+	}
+}
+
+func TestFragmentClamping(t *testing.T) {
+	seq, _ := FromString("ACGTACGT")
+	cases := []struct {
+		start, length int
+		want          string
+	}{
+		{0, 4, "ACGT"},
+		{4, 100, "ACGT"},
+		{-2, 3, "ACG"},
+		{100, 5, ""},
+		{6, 0, ""},
+	}
+	for _, c := range cases {
+		if got := seq.Fragment(c.start, c.length).String(); got != c.want {
+			t.Errorf("Fragment(%d,%d) = %q, want %q", c.start, c.length, got, c.want)
+		}
+	}
+}
+
+func TestReferenceGenomeLengths(t *testing.T) {
+	if g := SARSCoV2(); g.Len() != SARSCoV2Len {
+		t.Errorf("SARS-CoV-2 length %d, want %d", g.Len(), SARSCoV2Len)
+	}
+	if g := LambdaPhage(); g.Len() != LambdaPhageLen {
+		t.Errorf("lambda length %d, want %d", g.Len(), LambdaPhageLen)
+	}
+	if g := HumanSurrogate(); g.Len() != HumanSurrogateLen {
+		t.Errorf("human surrogate length %d, want %d", g.Len(), HumanSurrogateLen)
+	}
+}
+
+func TestReferenceGenomesAreStable(t *testing.T) {
+	a := SARSCoV2().Seq[:100].String()
+	b := SARSCoV2().Seq[:100].String()
+	if a != b {
+		t.Error("SARSCoV2() is not deterministic")
+	}
+}
+
+func TestMutateExactCount(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seq := Random(rng, 300)
+		n := int(nRaw) % 200
+		mutated, muts := Mutate(rng, seq, n)
+		if len(muts) != n {
+			return false
+		}
+		diffs, err := Diff(seq, mutated)
+		if err != nil {
+			return false
+		}
+		return len(diffs) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMutateDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seq := Random(rng, 100)
+	orig := seq.String()
+	Mutate(rng, seq, 50)
+	if seq.String() != orig {
+		t.Error("Mutate modified its input")
+	}
+}
+
+func TestMutateSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	seq := Random(rng, 1000)
+	_, muts := Mutate(rng, seq, 100)
+	for i := 1; i < len(muts); i++ {
+		if muts[i-1].Pos >= muts[i].Pos {
+			t.Fatalf("mutations not sorted: %v >= %v", muts[i-1].Pos, muts[i].Pos)
+		}
+	}
+}
+
+func TestMutateAltDiffersFromRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	seq := Random(rng, 500)
+	_, muts := Mutate(rng, seq, 250)
+	for _, m := range muts {
+		if m.Ref == m.Alt {
+			t.Fatalf("mutation %v has Ref == Alt", m)
+		}
+	}
+}
+
+func TestMutateTooManyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rng := rand.New(rand.NewSource(6))
+	Mutate(rng, Random(rng, 10), 11)
+}
+
+func TestDiffLengthMismatch(t *testing.T) {
+	a, _ := FromString("ACGT")
+	b, _ := FromString("ACG")
+	if _, err := Diff(a, b); err == nil {
+		t.Error("expected error on length mismatch")
+	}
+}
+
+func TestMutationString(t *testing.T) {
+	m := Mutation{Pos: 240, Ref: A, Alt: G}
+	if m.String() != "A241G" {
+		t.Errorf("got %q, want A241G", m.String())
+	}
+}
+
+func TestMakeStrainsTable2(t *testing.T) {
+	ref := SARSCoV2().Seq
+	strains := MakeStrains(99, ref, Table2Clades)
+	if len(strains) != 5 {
+		t.Fatalf("got %d strains", len(strains))
+	}
+	for i, s := range strains {
+		want := Table2Clades[i].Mutations
+		if len(s.Mutations) != want {
+			t.Errorf("strain %s: %d mutations, want %d", s.Clade, len(s.Mutations), want)
+		}
+		diffs, _ := Diff(ref, s.Seq)
+		if len(diffs) != want {
+			t.Errorf("strain %s: %d observed diffs, want %d", s.Clade, len(diffs), want)
+		}
+	}
+}
+
+func TestMakeStrainsDistinct(t *testing.T) {
+	ref := SARSCoV2().Seq
+	strains := MakeStrains(99, ref, Table2Clades)
+	seen := map[string]bool{}
+	for _, s := range strains {
+		key := ""
+		for _, m := range s.Mutations {
+			key += m.String() + ","
+		}
+		if seen[key] {
+			t.Errorf("strain %s duplicates another strain's mutation set", s.Clade)
+		}
+		seen[key] = true
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	seq, _ := FromString("ACGT")
+	cl := seq.Clone()
+	cl[0] = T
+	if seq[0] != A {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestGCEmpty(t *testing.T) {
+	if Sequence(nil).GC() != 0 {
+		t.Error("GC of empty sequence should be 0")
+	}
+}
+
+func TestSequenceStringAllBases(t *testing.T) {
+	seq := Sequence{A, C, G, T}
+	if !strings.EqualFold(seq.String(), "acgt") {
+		t.Errorf("String() = %q", seq.String())
+	}
+}

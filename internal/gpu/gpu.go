@@ -1,0 +1,110 @@
+// Package gpu is the calibrated performance model of the baseline
+// software pipeline's compute devices (paper Table 3): the server-class
+// Titan XP and the edge-class Jetson AGX Xavier running Guppy and
+// Guppy-lite.
+//
+// The paper *measures* these numbers on real hardware; this repository
+// encodes the measurements as named constants and derives every reported
+// ratio (Figures 5, 16, 21; the 274x / 3481x headlines) from them.
+// EXPERIMENTS.md records each paper value next to the model's output.
+package gpu
+
+// Operation counts per 2,000-sample classification chunk
+// (paper Section 4.8).
+const (
+	GuppyOpsPerChunk     = 2_412e6
+	GuppyLiteOpsPerChunk = 141e6
+	SDTWOpsPerChunk      = 1_400e6 // vs the SARS-CoV-2 reference
+	// GuppyLiteWeights / SDTWRefSamples compare memory footprints.
+	GuppyLiteWeights = 284_000
+	SDTWRefSamples   = 60_000
+)
+
+// Batch-size penalties of online Read Until processing relative to offline
+// batch basecalling (paper Section 6: measured on the Titan XP).
+const (
+	GuppyReadUntilPenalty     = 2.85
+	GuppyLiteReadUntilPenalty = 4.05
+)
+
+// Device models one compute platform's basecalling envelope. Throughputs
+// are in raw samples/second (1 base ≈ 10 samples).
+type Device struct {
+	Name string
+	// GuppyLiteOffline is the batch basecalling throughput of the fast
+	// model.
+	GuppyLiteOffline float64
+	// GuppyLiteLatency is the per-chunk Read Until classification
+	// latency of the fast model, in seconds.
+	GuppyLiteLatency float64
+	// GuppyLatency is the same for the high-accuracy model.
+	GuppyLatency float64
+}
+
+// TitanXP is the 250 W server GPU (paper: Guppy-lite offline throughput
+// marginally above the MinION's maximum; 149 ms Guppy-lite Read Until
+// latency; >1 s Guppy latency).
+func TitanXP() Device {
+	return Device{
+		Name:             "Titan XP",
+		GuppyLiteOffline: 3.454e6,
+		GuppyLiteLatency: 0.149,
+		GuppyLatency:     1.15,
+	}
+}
+
+// JetsonXavier is the edge GPU (paper: ~95,700 bases/s = 0.957 M samples/s
+// offline Guppy-lite, 41.5% of the MinION's maximum output).
+func JetsonXavier() Device {
+	scale := 0.957e6 / 3.454e6
+	return Device{
+		Name:             "Jetson AGX Xavier",
+		GuppyLiteOffline: 0.957e6,
+		GuppyLiteLatency: 0.149 / scale,
+		GuppyLatency:     1.15 / scale,
+	}
+}
+
+// GuppyOffline derives the high-accuracy model's batch throughput from the
+// operation-count ratio.
+func (d Device) GuppyOffline() float64 {
+	return d.GuppyLiteOffline * GuppyLiteOpsPerChunk / GuppyOpsPerChunk
+}
+
+// GuppyLiteReadUntil is the fast model's throughput under Read Until's
+// small-batch regime.
+func (d Device) GuppyLiteReadUntil() float64 {
+	return d.GuppyLiteOffline / GuppyLiteReadUntilPenalty
+}
+
+// GuppyReadUntil is the high-accuracy model's Read Until throughput.
+func (d Device) GuppyReadUntil() float64 {
+	return d.GuppyOffline() / GuppyReadUntilPenalty
+}
+
+// MinION / GridION sequencing output (paper Sections 1, 7.2).
+const (
+	// MinIONChannels is the number of concurrently sequencing pores.
+	MinIONChannels = 512
+	// MinIONSamplesPerSec is the device's maximum raw signal output:
+	// 512 channels x ~4,000 samples/s.
+	MinIONSamplesPerSec = 2.048e6
+	// MinIONBasesPerSec is the equivalent base rate (450 bases/s/pore).
+	MinIONBasesPerSec = 230_400
+	// GridIONScale is GridION's throughput multiple of the MinION.
+	GridIONScale = 5
+)
+
+// ReadUntilPoreFraction returns the fraction of sequencer pores a
+// classifier with the given throughput can serve in real time — the
+// quantity that collapses for GPUs as sequencers scale (Figure 21).
+func ReadUntilPoreFraction(classifierSamplesPerSec, sequencerSamplesPerSec float64) float64 {
+	if sequencerSamplesPerSec <= 0 {
+		return 0
+	}
+	f := classifierSamplesPerSec / sequencerSamplesPerSec
+	if f > 1 {
+		f = 1
+	}
+	return f
+}

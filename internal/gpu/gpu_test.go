@@ -1,0 +1,108 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOpsCountRelations(t *testing.T) {
+	// Paper Section 4.8: sDTW needs more ops than Guppy-lite but fewer
+	// than Guppy; its memory footprint is smaller than Guppy-lite's.
+	if !(GuppyLiteOpsPerChunk < SDTWOpsPerChunk && SDTWOpsPerChunk < GuppyOpsPerChunk) {
+		t.Error("operation-count ordering violated")
+	}
+	if SDTWRefSamples >= GuppyLiteWeights {
+		t.Error("sDTW memory footprint should be below Guppy-lite's")
+	}
+}
+
+func TestTitanBarelyKeepsUp(t *testing.T) {
+	// Paper Section 3.2: "even a 250W Titan GPU has barely enough
+	// basecalling throughput (with Guppy-lite) to keep up with a
+	// MinION's maximum sequencing throughput" — offline throughput above
+	// the MinION's rate but within a small factor.
+	titan := TitanXP()
+	ratio := titan.GuppyLiteOffline / MinIONSamplesPerSec
+	if ratio < 1 || ratio > 2.5 {
+		t.Errorf("Titan offline / MinION = %.2f, want slightly above 1", ratio)
+	}
+	// Under Read Until it falls below the MinION's rate.
+	if titan.GuppyLiteReadUntil() >= MinIONSamplesPerSec {
+		t.Error("Titan Read Until throughput should fall below MinION max")
+	}
+}
+
+func TestJetsonFractionOfMinION(t *testing.T) {
+	// Paper Section 7.2: Jetson basecalls ~95,700 bases/s, 41.5% of the
+	// MinION's 230,400 bases/s.
+	jetson := JetsonXavier()
+	frac := jetson.GuppyLiteOffline / MinIONSamplesPerSec
+	if math.Abs(frac-0.415) > 0.06 {
+		t.Errorf("Jetson/MinION fraction %.3f, paper 0.415", frac)
+	}
+}
+
+func TestGuppySlowerThanGuppyLite(t *testing.T) {
+	for _, d := range []Device{TitanXP(), JetsonXavier()} {
+		if d.GuppyOffline() >= d.GuppyLiteOffline {
+			t.Errorf("%s: Guppy should be slower than Guppy-lite", d.Name)
+		}
+		if d.GuppyReadUntil() >= d.GuppyOffline() {
+			t.Errorf("%s: Read Until penalty missing for Guppy", d.Name)
+		}
+		if d.GuppyLiteReadUntil() >= d.GuppyLiteOffline {
+			t.Errorf("%s: Read Until penalty missing for Guppy-lite", d.Name)
+		}
+	}
+}
+
+func TestLatencyHeadlines(t *testing.T) {
+	titan := TitanXP()
+	if titan.GuppyLiteLatency != 0.149 {
+		t.Errorf("Guppy-lite Titan latency %.3f s, paper 0.149", titan.GuppyLiteLatency)
+	}
+	if titan.GuppyLatency < 1.0 {
+		t.Errorf("Guppy latency %.2f s, paper >1 s", titan.GuppyLatency)
+	}
+	jetson := JetsonXavier()
+	if jetson.GuppyLiteLatency <= titan.GuppyLiteLatency {
+		t.Error("edge GPU latency should exceed server GPU latency")
+	}
+}
+
+// The 274x headline: the 5-tile SquiggleFilter (233.65 M samples/s on
+// lambda) over the Titan's Guppy-lite Read Until throughput.
+func TestHeadline274x(t *testing.T) {
+	ratio := 233.65e6 / TitanXP().GuppyLiteReadUntil()
+	if math.Abs(ratio-274) > 6 {
+		t.Errorf("throughput ratio %.0fx, paper 274x", ratio)
+	}
+}
+
+func TestReadUntilPoreFraction(t *testing.T) {
+	if f := ReadUntilPoreFraction(1e6, 2e6); f != 0.5 {
+		t.Errorf("fraction = %v, want 0.5", f)
+	}
+	if f := ReadUntilPoreFraction(5e6, 2e6); f != 1 {
+		t.Errorf("fraction should cap at 1, got %v", f)
+	}
+	if f := ReadUntilPoreFraction(1e6, 0); f != 0 {
+		t.Errorf("zero sequencer rate should give 0, got %v", f)
+	}
+	// Jetson serves ~42% of pores offline but only ~10% under Read
+	// Until's batch penalty — the paper's "41.5% of pores" uses offline
+	// numbers as the optimistic bound.
+	frac := ReadUntilPoreFraction(JetsonXavier().GuppyLiteOffline, MinIONSamplesPerSec)
+	if frac < 0.35 || frac > 0.5 {
+		t.Errorf("Jetson pore fraction %.3f, want ~0.42", frac)
+	}
+}
+
+func TestMinIONConstantsConsistent(t *testing.T) {
+	if MinIONSamplesPerSec/MinIONBasesPerSec < 8 || MinIONSamplesPerSec/MinIONBasesPerSec > 12 {
+		t.Error("samples-per-base should be ~10")
+	}
+	if MinIONChannels != 512 {
+		t.Error("MinION has 512 channels")
+	}
+}

@@ -1,0 +1,344 @@
+package hw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"squigglefilter/internal/normalize"
+	"squigglefilter/internal/sdtw"
+)
+
+func randInt8(rng *rand.Rand, n int) []int8 {
+	out := make([]int8, n)
+	for i := range out {
+		out[i] = int8(rng.Intn(255) - 127)
+	}
+	return out
+}
+
+func TestNewTileValidation(t *testing.T) {
+	if _, err := NewTile(nil, sdtw.DefaultIntConfig()); err == nil {
+		t.Error("empty reference accepted")
+	}
+	if _, err := NewTile(make([]int8, RefBufferBytes+1), sdtw.DefaultIntConfig()); err == nil {
+		t.Error("oversized reference accepted")
+	}
+	tile, err := NewTile(make([]int8, RefBufferBytes), sdtw.DefaultIntConfig())
+	if err != nil {
+		t.Fatalf("exactly-full reference rejected: %v", err)
+	}
+	if tile.RefLen() != RefBufferBytes {
+		t.Errorf("RefLen = %d", tile.RefLen())
+	}
+}
+
+// The central hardware-correctness invariant: the cycle-accurate systolic
+// array must be bit-identical to the software integer DP for arbitrary
+// inputs, with and without the match bonus.
+func TestSystolicMatchesSoftware(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint16, useBonus bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%300 + 1
+		m := int(mRaw)%400 + 1
+		query := randInt8(rng, n)
+		ref := randInt8(rng, m)
+		cfg := sdtw.IntConfig{}
+		if useBonus {
+			cfg = sdtw.DefaultIntConfig()
+		}
+		tile, err := NewTile(ref, cfg)
+		if err != nil {
+			return false
+		}
+		hwRes, hwRow, _ := tile.Classify(query, nil)
+		swRes, swRow := sdtw.IntDPRow(query, ref, cfg)
+		if hwRes != swRes {
+			return false
+		}
+		for j := range swRow.Cost {
+			if hwRow.Cost[j] != swRow.Cost[j] || hwRow.Run[j] != swRow.Run[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Tiny arrays exercise the read-after-write hazards between the last PE's
+// row write-back and PE 0's boundary reads.
+func TestSystolicTinyArrays(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3} {
+		for _, m := range []int{1, 2, 3, 17} {
+			query := randInt8(rng, n)
+			ref := randInt8(rng, m)
+			cfg := sdtw.DefaultIntConfig()
+			tile, err := NewTile(ref, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hwRes, _, _ := tile.Classify(query, nil)
+			swRes := sdtw.IntDP(query, ref, cfg)
+			if hwRes != swRes {
+				t.Errorf("n=%d m=%d: hw %+v != sw %+v", n, m, hwRes, swRes)
+			}
+		}
+	}
+}
+
+// Queries longer than the PE array must be processed in multiple passes
+// with DRAM round-trips, still bit-identical to a single software DP.
+func TestSystolicMultiPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	query := randInt8(rng, 2*PEsPerTile+137)
+	ref := randInt8(rng, 500)
+	cfg := sdtw.DefaultIntConfig()
+	tile, err := NewTile(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwRes, _, stats := tile.Classify(query, nil)
+	swRes := sdtw.IntDP(query, ref, cfg)
+	if hwRes != swRes {
+		t.Errorf("multi-pass hw %+v != sw %+v", hwRes, swRes)
+	}
+	if stats.Passes != 3 {
+		t.Errorf("passes = %d, want 3", stats.Passes)
+	}
+	if stats.DRAMBytes == 0 {
+		t.Error("multi-pass classification reported no DRAM traffic")
+	}
+}
+
+// Multi-stage: classify a prefix, keep the row, then resume — must equal
+// the single-shot DP over the concatenation.
+func TestSystolicStageResume(t *testing.T) {
+	f := func(seed int64, splitRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		query := randInt8(rng, 120)
+		ref := randInt8(rng, 90)
+		split := int(splitRaw) % len(query)
+		cfg := sdtw.DefaultIntConfig()
+		tile, err := NewTile(ref, cfg)
+		if err != nil {
+			return false
+		}
+		_, row, _ := tile.Classify(query[:split], nil)
+		res2, _, stats2 := tile.Classify(query[split:], row)
+		sw := sdtw.IntDP(query, ref, cfg)
+		if res2 != sw {
+			return false
+		}
+		// Resume must fetch the stored row from DRAM.
+		return split == 0 || stats2.DRAMBytes > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSystolicBoundaryMismatchPanics(t *testing.T) {
+	tile, _ := NewTile([]int8{1, 2, 3}, sdtw.IntConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on boundary length mismatch")
+		}
+	}()
+	tile.Classify([]int8{1}, sdtw.NewRow(2))
+}
+
+func TestClassifyThresholdDecisionCycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := randInt8(rng, 300)
+	query := make([]int8, 50)
+	copy(query, ref[100:150]) // exact match: cost 0 with no bonus
+	tile, _ := NewTile(ref, sdtw.IntConfig{})
+	res, _, stats := tile.ClassifyThreshold(query, nil, 1<<20)
+	if res.Cost != 0 {
+		t.Fatalf("planted match cost %d", res.Cost)
+	}
+	if stats.DecisionCycle < 0 {
+		t.Error("threshold never crossed despite generous threshold")
+	}
+	if stats.DecisionCycle > stats.Cycles {
+		t.Errorf("decision cycle %d after completion %d", stats.DecisionCycle, stats.Cycles)
+	}
+	// Impossible threshold: never crossed.
+	_, _, stats = tile.ClassifyThreshold(query, nil, -1<<30)
+	if stats.DecisionCycle != -1 {
+		t.Errorf("impossible threshold crossed at cycle %d", stats.DecisionCycle)
+	}
+}
+
+func TestCycleCountMatchesAnalyticalModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, tc := range []struct{ n, m int }{{10, 20}, {100, 50}, {1, 1}, {2500, 64}} {
+		query := randInt8(rng, tc.n)
+		ref := randInt8(rng, tc.m)
+		tile, _ := NewTile(ref, sdtw.IntConfig{})
+		_, _, stats := tile.Classify(query, nil)
+		if want := ClassifyCycles(tc.n, tc.m); stats.Cycles != want {
+			t.Errorf("n=%d m=%d: simulated %d cycles, model %d", tc.n, tc.m, stats.Cycles, want)
+		}
+	}
+}
+
+// --- normalizer ---
+
+func TestNormalizerMatchesSoftware(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%3000 + 1
+		samples := make([]int16, n)
+		for i := range samples {
+			samples[i] = int16(rng.Intn(1024))
+		}
+		hwOut, _ := NewNormalizer().Process(samples)
+		// Software reference: per-window integer normalization.
+		var swOut []int8
+		for start := 0; start < n; start += PEsPerTile {
+			end := start + PEsPerTile
+			if end > n {
+				end = n
+			}
+			swOut = append(swOut, normalize.ApplyInt8(samples[start:end])...)
+		}
+		if len(hwOut) != len(swOut) {
+			return false
+		}
+		for i := range hwOut {
+			if hwOut[i] != swOut[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizerEmptyWindow(t *testing.T) {
+	out, stats := NewNormalizer().Window(nil)
+	if out != nil || stats.Cycles != 0 {
+		t.Error("empty window should be a no-op")
+	}
+}
+
+func TestNormalizerCycleAccounting(t *testing.T) {
+	samples := make([]int16, 2000)
+	_, stats := NewNormalizer().Process(samples)
+	if stats.Cycles != 4000 {
+		t.Errorf("cycles = %d, want 2 passes x 2000", stats.Cycles)
+	}
+}
+
+// --- performance / area model ---
+
+func TestTable4HeadlineNumbers(t *testing.T) {
+	approx := func(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+	if !approx(TileAreaMM2(), 2.65, 0.005) {
+		t.Errorf("tile area %.3f mm2, paper 2.65", TileAreaMM2())
+	}
+	if !approx(TilePowerW(), 2.86, 0.005) {
+		t.Errorf("tile power %.3f W, paper 2.86", TilePowerW())
+	}
+	if !approx(ASICAreaMM2(NumTiles), 13.25, 0.01) {
+		t.Errorf("5-tile area %.3f mm2, paper 13.25", ASICAreaMM2(NumTiles))
+	}
+	if !approx(ASICPowerW(NumTiles), 14.31, 0.01) {
+		t.Errorf("5-tile power %.3f W, paper 14.31", ASICPowerW(NumTiles))
+	}
+	if len(Table4()) != 7 {
+		t.Errorf("Table4 has %d rows, want 7", len(Table4()))
+	}
+}
+
+func TestLatencyHeadlines(t *testing.T) {
+	// SARS-CoV-2: 2,000-sample query, both-strand reference 59,796
+	// samples -> paper reports 0.027 ms.
+	covid := Latency(2000, 2*(29903-5)).Seconds() * 1e3
+	if covid < 0.024 || covid > 0.028 {
+		t.Errorf("SARS-CoV-2 latency %.4f ms, paper 0.027", covid)
+	}
+	// Lambda phage: 96,994-sample reference -> paper reports 0.043 ms.
+	lambda := Latency(2000, 2*(48502-5)).Seconds() * 1e3
+	if lambda < 0.039 || lambda > 0.044 {
+		t.Errorf("lambda latency %.4f ms, paper 0.043", lambda)
+	}
+}
+
+func TestThroughputHeadlines(t *testing.T) {
+	// Paper: 74.63 M samples/s/tile (SARS-CoV-2), 46.73 (lambda);
+	// the analytical model lands within ~4%.
+	covid := TileThroughput(2000, 2*(29903-5)) / 1e6
+	if covid < 71 || covid > 80 {
+		t.Errorf("covid tile throughput %.1f M samples/s, paper 74.63", covid)
+	}
+	lambda := TileThroughput(2000, 2*(48502-5)) / 1e6
+	if lambda < 44 || lambda > 50 {
+		t.Errorf("lambda tile throughput %.1f M samples/s, paper 46.73", lambda)
+	}
+	if dev := DeviceThroughput(2000, 2*(48502-5), NumTiles); dev != 5*TileThroughput(2000, 2*(48502-5)) {
+		t.Errorf("device throughput %.1f not 5x tile", dev)
+	}
+}
+
+func TestScalabilityHeadroom(t *testing.T) {
+	// Paper: the 5-tile device tolerates a 114x increase over the
+	// MinION's 2.05 M samples/s when filtering lambda phage.
+	h := ScalabilityHeadroom(2000, 2*(48502-5), 2.05e6)
+	if h < 110 || h > 125 {
+		t.Errorf("headroom %.0fx, paper 114x", h)
+	}
+	if ScalabilityHeadroom(2000, 100, 0) != 0 {
+		t.Error("zero sequencer rate should yield zero headroom")
+	}
+}
+
+func TestMultiStageDRAMBandwidth(t *testing.T) {
+	if bw := MultiStageDRAMBandwidth(); bw != 10e9 {
+		t.Errorf("per-tile DRAM bandwidth %.1f GB/s, paper ~10", bw/1e9)
+	}
+	if NumTiles*int(MultiStageDRAMBandwidth()/1e9) > 137 {
+		t.Error("5-tile bandwidth exceeds Jetson's 137 GB/s budget")
+	}
+}
+
+func TestClassifyCyclesEdges(t *testing.T) {
+	if ClassifyCycles(0, 100) != 0 || ClassifyCycles(100, 0) != 0 {
+		t.Error("degenerate sizes should cost zero cycles")
+	}
+	// Two-pass query: cycles add per pass.
+	one := ClassifyCycles(PEsPerTile, 100)
+	two := ClassifyCycles(2*PEsPerTile, 100)
+	if two != 2*one {
+		t.Errorf("two-pass cycles %d != 2x one-pass %d", two, one)
+	}
+}
+
+func TestAreaPowerRowString(t *testing.T) {
+	if s := (AreaPowerRow{"X", 1, 2}).String(); s == "" {
+		t.Error("empty row rendering")
+	}
+}
+
+func BenchmarkSystolicSweep2000x6000(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	ref := randInt8(rng, 6000)
+	query := randInt8(rng, 2000)
+	tile, err := NewTile(ref, sdtw.DefaultIntConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(query)) * int64(len(ref)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tile.Classify(query, nil)
+	}
+}

@@ -1,0 +1,95 @@
+package hw
+
+import "squigglefilter/internal/normalize"
+
+// Normalizer is a structural simulation of the query pre-processor of
+// Figure 15: it streams 10-bit ADC samples from the query buffer into an
+// accumulator, updates the mean and Mean Absolute Deviation after each
+// window of WindowSize samples, and then re-streams the window through the
+// mean-MAD transform, emitting reduced-precision 8-bit fixed-point values
+// in [-4, 4] for the systolic array.
+//
+// Its output is required (and tested) to be bit-identical to the software
+// integer pipeline in internal/normalize.
+type Normalizer struct {
+	// WindowSize is the normalization window; the hardware uses the
+	// 2,000-sample Read Until chunk.
+	WindowSize int
+
+	// Register state (exposed for inspection in tests/debugging).
+	SumAcc int64 // Σ x, first pass
+	DevAcc int64 // Σ |x-mean|, second pass
+	Mean   int32
+	MAD    int32
+}
+
+// NewNormalizer returns a normalizer with the hardware window of
+// PEsPerTile samples.
+func NewNormalizer() *Normalizer {
+	return &Normalizer{WindowSize: PEsPerTile}
+}
+
+// NormStats accounts the cycles a window took.
+type NormStats struct {
+	// Cycles: one accumulation pass plus one transform pass over the
+	// window (the divider latencies are pipelined and hidden).
+	Cycles int64
+}
+
+// Window processes one window of raw samples (at most WindowSize; a read's
+// final partial window is allowed) and returns the normalized 8-bit
+// samples.
+func (n *Normalizer) Window(samples []int16) ([]int8, NormStats) {
+	// Pass 1: accumulate the sum, then latch the mean.
+	n.SumAcc = 0
+	for _, v := range samples {
+		n.SumAcc += int64(v)
+	}
+	count := int64(len(samples))
+	if count == 0 {
+		n.Mean, n.MAD = 0, 1
+		return nil, NormStats{}
+	}
+	n.Mean = int32((n.SumAcc + count/2) / count)
+
+	// Pass 2: accumulate absolute deviations, then latch the MAD
+	// (floored at 1: a flat window would otherwise divide by zero).
+	n.DevAcc = 0
+	for _, v := range samples {
+		d := int64(v) - int64(n.Mean)
+		if d < 0 {
+			d = -d
+		}
+		n.DevAcc += d
+	}
+	n.MAD = int32((n.DevAcc + count/2) / count)
+	if n.MAD < 1 {
+		n.MAD = 1
+	}
+
+	// Transform pass: subtract, scale, divide, round, clamp — the
+	// outlier filter is the saturation at ±127 (just under ±4 MAD).
+	out := make([]int8, len(samples))
+	for i, v := range samples {
+		out[i] = normalize.QuantizeInt(v, n.Mean, n.MAD)
+	}
+	return out, NormStats{Cycles: 2 * count}
+}
+
+// Process splits samples into windows and normalizes each independently,
+// exactly as the streaming hardware does for multi-window (multi-stage)
+// queries.
+func (n *Normalizer) Process(samples []int16) ([]int8, NormStats) {
+	var out []int8
+	var stats NormStats
+	for start := 0; start < len(samples); start += n.WindowSize {
+		end := start + n.WindowSize
+		if end > len(samples) {
+			end = len(samples)
+		}
+		w, s := n.Window(samples[start:end])
+		out = append(out, w...)
+		stats.Cycles += s.Cycles
+	}
+	return out, stats
+}

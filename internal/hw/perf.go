@@ -1,0 +1,142 @@
+package hw
+
+import (
+	"fmt"
+	"time"
+)
+
+// Per-component synthesis results at 28 nm TSMC HPC, 2.5 GHz — the inputs
+// to Table 4. The PE array aggregate (2.423 mm², 2.78 W for 2,000 PEs) is
+// the paper's "Tile (1×2000 PEs)" row; per-PE values in the table are that
+// aggregate divided down (the paper rounds them to 0.001 mm² / 0.002 W and
+// quotes 1203 µm² / 1.92 mW for a standalone PE in Section 5.2).
+const (
+	NormalizerAreaMM2 = 0.014
+	NormalizerPowerW  = 0.045
+	PEArrayAreaMM2    = 2.423
+	PEArrayPowerW     = 2.78
+	QueryBufAreaMM2   = 0.023
+	QueryBufPowerW    = 0.009
+	RefBufAreaMM2     = 0.185
+	RefBufPowerW      = 0.028
+	// TileGlueAreaMM2 is clocking/control/interconnect overhead that
+	// closes the gap between the component sum and the paper's complete
+	// 1-tile ASIC area of 2.65 mm².
+	TileGlueAreaMM2 = 0.005
+)
+
+// PerPEAreaMM2 / PerPEPowerW are the array aggregates divided by the
+// array length.
+const (
+	PerPEAreaMM2 = PEArrayAreaMM2 / PEsPerTile
+	PerPEPowerW  = PEArrayPowerW / PEsPerTile
+)
+
+// TileAreaMM2 returns the complete 1-tile ASIC area (Table 4: 2.65 mm²).
+func TileAreaMM2() float64 {
+	return PEArrayAreaMM2 + NormalizerAreaMM2 + QueryBufAreaMM2 + RefBufAreaMM2 + TileGlueAreaMM2
+}
+
+// TilePowerW returns the complete 1-tile ASIC power (Table 4: 2.86 W).
+func TilePowerW() float64 {
+	return PEArrayPowerW + NormalizerPowerW + QueryBufPowerW + RefBufPowerW
+}
+
+// ASICAreaMM2 returns the area of an ASIC with the given number of tiles
+// (Table 4, 5 tiles: 13.25 mm²).
+func ASICAreaMM2(tiles int) float64 { return float64(tiles) * TileAreaMM2() }
+
+// ASICPowerW returns the power with the given number of active tiles; idle
+// tiles are power-gated (Table 4, 5 tiles: 14.31 W).
+func ASICPowerW(tiles int) float64 { return float64(tiles) * TilePowerW() }
+
+// AreaPowerRow is one row of Table 4.
+type AreaPowerRow struct {
+	Element string
+	AreaMM2 float64
+	PowerW  float64
+}
+
+// Table4 regenerates the paper's synthesis-results table.
+func Table4() []AreaPowerRow {
+	return []AreaPowerRow{
+		{"Normalizer", NormalizerAreaMM2, NormalizerPowerW},
+		{"Processing Element", PerPEAreaMM2, PerPEPowerW},
+		{"Tile (1x2000 PEs)", PEArrayAreaMM2, PEArrayPowerW},
+		{"Query buffer", QueryBufAreaMM2, QueryBufPowerW},
+		{"Reference buffer", RefBufAreaMM2, RefBufPowerW},
+		{"Complete 1-Tile ASIC", TileAreaMM2(), TilePowerW()},
+		{"Complete 5-Tile ASIC", ASICAreaMM2(NumTiles), ASICPowerW(NumTiles)},
+	}
+}
+
+// ClassifyCycles is the analytical per-read cycle count for an N-sample
+// query against an M-sample reference: two normalization passes over each
+// query window plus the wavefront (N+M-1 cycles per pass). For the default
+// single-window case this is 3N + M - 1 — e.g. 2,000 samples against the
+// SARS-CoV-2 both-strand reference (59,796 samples) is ~65.8 k cycles,
+// 26 µs at 2.5 GHz, the paper's "0.027 ms".
+func ClassifyCycles(queryLen, refLen int) int64 {
+	if queryLen <= 0 || refLen <= 0 {
+		return 0
+	}
+	var cycles int64
+	for queryLen > 0 {
+		n := queryLen
+		if n > PEsPerTile {
+			n = PEsPerTile
+		}
+		cycles += int64(2*n) + int64(n+refLen-1)
+		queryLen -= n
+	}
+	return cycles
+}
+
+// Latency converts ClassifyCycles to wall-clock time at ClockHz.
+func Latency(queryLen, refLen int) time.Duration {
+	cycles := ClassifyCycles(queryLen, refLen)
+	return time.Duration(float64(cycles) / ClockHz * float64(time.Second))
+}
+
+// TileThroughput is a single tile's steady-state classification throughput
+// in raw samples per second: queryLen samples consumed every
+// ClassifyCycles (the ping-pong query buffers overlap loading with the
+// previous read's classification, but normalization and the wavefront
+// serialize within a tile).
+func TileThroughput(queryLen, refLen int) float64 {
+	cycles := ClassifyCycles(queryLen, refLen)
+	if cycles == 0 {
+		return 0
+	}
+	return float64(queryLen) * ClockHz / float64(cycles)
+}
+
+// DeviceThroughput is TileThroughput times the active tile count.
+func DeviceThroughput(queryLen, refLen, tiles int) float64 {
+	return float64(tiles) * TileThroughput(queryLen, refLen)
+}
+
+// MultiStageDRAMBandwidth is the main-memory bandwidth one tile consumes
+// when configured for multi-stage filtering: the last PE streams one
+// 32-bit cost word per cycle while the wavefront drains — 10 GB/s at
+// 2.5 GHz, against Jetson Xavier's 137 GB/s budget (Section 7.1; five
+// tiles need 50 GB/s, so the design is feasible).
+func MultiStageDRAMBandwidth() float64 {
+	const costWordBytes = 4
+	return costWordBytes * ClockHz
+}
+
+// ScalabilityHeadroom reports how many times the sequencer's sample rate
+// could grow before the full device saturates (paper: 114x over the
+// MinION's 2.05 M samples/s when programmed for lambda phage).
+func ScalabilityHeadroom(queryLen, refLen int, sequencerSamplesPerSec float64) float64 {
+	if sequencerSamplesPerSec <= 0 {
+		return 0
+	}
+	return DeviceThroughput(queryLen, refLen, NumTiles) / sequencerSamplesPerSec
+}
+
+// FormatMM2W renders an AreaPowerRow like the paper's table.
+func (r AreaPowerRow) String() string {
+	return fmt.Sprintf("%-22s %8.3f mm2 %8.3f W", r.Element, r.AreaMM2, r.PowerW)
+}

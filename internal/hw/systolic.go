@@ -1,0 +1,250 @@
+// Package hw is the SquiggleFilter accelerator model (paper Section 5):
+//
+//   - a cycle-accurate simulation of one tile's 1D systolic array (2,000
+//     processing elements, Figure 13/14) that computes the integer sDTW
+//     recurrence in a wavefront and is property-tested to be bit-identical
+//     to the software engine in internal/sdtw;
+//   - a structural simulation of the normalizer front-end (Figure 15),
+//     bit-identical to internal/normalize's integer pipeline;
+//   - an analytical performance/area/power model reproducing Table 4 and
+//     the latency/throughput numbers of Section 7.1 / Figure 16.
+package hw
+
+import (
+	"fmt"
+	"math"
+
+	"squigglefilter/internal/sdtw"
+)
+
+// Architectural constants (paper Section 5).
+const (
+	// PEsPerTile is the systolic array length: one PE per query sample of
+	// the default 2,000-sample Read Until prefix.
+	PEsPerTile = 2000
+	// NumTiles is the number of independent tiles, provisioned for the
+	// announced 100x sequencing throughput increase.
+	NumTiles = 5
+	// ClockHz is the synthesized clock (28 nm TSMC HPC).
+	ClockHz = 2.5e9
+	// RefBufferBytes is each tile's reference buffer: 100 KB of 8-bit
+	// samples, enough for both strands of any genome up to ~50 kb
+	// double-stranded (or 100 kb single-stranded) — Figure 10's envelope.
+	RefBufferBytes = 100 * 1024
+	// QueryBufferBytes is one ping-pong query buffer: 2,000 10-bit
+	// samples padded to 2 bytes.
+	QueryBufferBytes = 2 * PEsPerTile
+	// rowStateBytes is the DRAM footprint of one reference position of
+	// intermediate DP state: a 32-bit cost plus the dwell counter,
+	// rounded to 5 bytes (paper: ~10 GB/s per tile at full rate).
+	rowStateBytes = 5
+)
+
+// pe is the register state of one processing element (Figure 14). Each PE
+// latches its query sample and exposes its last two cycles' outputs to the
+// next PE: cost1/run1 from cycle c-1 and cost2/run2 from cycle c-2, which
+// are exactly the S[i-1][j] and S[i-1][j-1] operands of the recurrence.
+type pe struct {
+	q            int32
+	cost1, cost2 int32
+	run1, run2   int32
+}
+
+// Tile is one SquiggleFilter tile: a programmed reference buffer plus the
+// systolic array. A tile classifies one read at a time (the device has
+// NumTiles of them working independently).
+type Tile struct {
+	ref []int8
+	cfg sdtw.IntConfig
+	pes []pe
+}
+
+// NewTile programs a tile. The reference must fit the 100 KB buffer —
+// exceeding it is the hardware's genome-length limit, reported as an error.
+func NewTile(ref []int8, cfg sdtw.IntConfig) (*Tile, error) {
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("hw: empty reference")
+	}
+	if len(ref) > RefBufferBytes {
+		return nil, fmt.Errorf("hw: reference of %d samples exceeds the %d-byte reference buffer", len(ref), RefBufferBytes)
+	}
+	return &Tile{ref: ref, cfg: cfg, pes: make([]pe, PEsPerTile)}, nil
+}
+
+// RefLen returns the programmed reference length in samples.
+func (t *Tile) RefLen() int { return len(t.ref) }
+
+// CycleStats accounts for a classification.
+type CycleStats struct {
+	// Cycles is the total cycle count: two normalization passes over
+	// each query window plus the systolic wavefront per pass.
+	Cycles int64
+	// DRAMBytes is the multi-stage intermediate-state traffic (last-PE
+	// row write-out plus read-back on resume).
+	DRAMBytes int64
+	// Passes is the number of systolic sweeps (≥2 when the query is
+	// longer than the PE array — variable query length support).
+	Passes int
+	// DecisionCycle is the first cycle at which the running minimum at
+	// the last PE dropped to or below the threshold given to
+	// ClassifyThreshold, or -1 if it never did (or Classify was used).
+	DecisionCycle int64
+}
+
+// Classify runs the systolic array over a normalized query. Queries longer
+// than the PE array are processed in multiple passes exactly as the
+// hardware does: the last PE streams the DP row to DRAM, the array is
+// reloaded with the next 2,000 samples, and the stored row initializes the
+// boundary (paper Section 5.1, "Variable Query Length").
+//
+// boundary may carry state saved from a previous stage (multi-stage
+// filtering); pass nil to start fresh. The returned row is the final DP
+// state, reusable as the next stage's boundary.
+func (t *Tile) Classify(query []int8, boundary *sdtw.Row) (sdtw.IntResult, *sdtw.Row, CycleStats) {
+	return t.classify(query, boundary, 0, false)
+}
+
+// ClassifyThreshold is Classify plus the last-PE comparator: stats report
+// the first cycle at which the running minimum reached the threshold.
+func (t *Tile) ClassifyThreshold(query []int8, boundary *sdtw.Row, threshold int32) (sdtw.IntResult, *sdtw.Row, CycleStats) {
+	return t.classify(query, boundary, threshold, true)
+}
+
+func (t *Tile) classify(query []int8, boundary *sdtw.Row, threshold int32, useThreshold bool) (sdtw.IntResult, *sdtw.Row, CycleStats) {
+	m := len(t.ref)
+	row := sdtw.NewRow(m)
+	if boundary != nil {
+		if boundary.Len() != m {
+			panic("hw: boundary row length does not match reference")
+		}
+		row = boundary.Clone()
+	}
+	stats := CycleStats{DecisionCycle: -1}
+	resumed := boundary != nil && boundary.Samples > 0
+	if resumed {
+		stats.DRAMBytes += int64(m) * rowStateBytes // read-back
+	}
+
+	best := sdtw.IntResult{Cost: math.MaxInt32, EndPos: -1}
+	for len(query) > 0 {
+		n := len(query)
+		if n > PEsPerTile {
+			n = PEsPerTile
+		}
+		// The subsequence minimum is over the final query row only;
+		// earlier passes just carry state forward.
+		best = t.sweep(query[:n], row, &stats, threshold, useThreshold)
+		query = query[n:]
+		stats.Passes++
+		if len(query) > 0 {
+			stats.DRAMBytes += int64(m) * rowStateBytes * 2 // write + read-back
+		}
+	}
+	return best, row, stats
+}
+
+// sweep performs one wavefront pass of up to PEsPerTile query samples,
+// updating row in place. It is the cycle-accurate heart of the model:
+// cycle c has PE i computing DP cell (i, j=c-i) from PE i-1's outputs at
+// cycles c-1 and c-2 — exactly the dataflow of Figure 13. PE 0's
+// neighbour is the boundary row; the last PE streams the final row out and
+// feeds the threshold comparator.
+func (t *Tile) sweep(query []int8, row *sdtw.Row, stats *CycleStats, threshold int32, useThreshold bool) sdtw.IntResult {
+	n := len(query)
+	m := len(t.ref)
+	ref := t.ref
+	bonus, cap_ := t.cfg.MatchBonus, t.cfg.BonusCap
+	if bonus == 0 {
+		cap_ = 0
+	}
+
+	// Load phase: latch query samples into the PEs.
+	pes := t.pes[:n]
+	for i := range pes {
+		pes[i] = pe{q: int32(query[i])}
+	}
+
+	startCycles := stats.Cycles
+	wavefront := n + m - 1
+	stats.Cycles += int64(2*n) + int64(wavefront)
+
+	// pbCost/pbRun hold the boundary value of column j-1 as PE 0 saw it —
+	// a register, because for 1- and 2-PE arrays the last PE overwrites
+	// row[j-1] before PE 0 would read it from the row buffer.
+	var pbCost, pbRun int32
+
+	best := sdtw.IntResult{Cost: math.MaxInt32, EndPos: -1}
+	for c := 0; c < wavefront; c++ {
+		lo := c - m + 1
+		if lo < 0 {
+			lo = 0
+		}
+		hi := c
+		if hi > n-1 {
+			hi = n - 1
+		}
+		// Descending PE order within a cycle so each PE reads its left
+		// neighbour's registers before they are overwritten — in
+		// hardware all PEs update simultaneously.
+		for i := hi; i >= lo; i-- {
+			j := c - i
+			d := pes[i].q - int32(ref[j])
+			if d < 0 {
+				d = -d
+			}
+			var newCost, newRun int32
+			var diagCost, diagRun, vertCost, vertRun int32
+			if i == 0 {
+				bc, br := row.Cost[j], row.Run[j]
+				diagCost, diagRun = pbCost, pbRun
+				vertCost, vertRun = bc, br
+				pbCost, pbRun = bc, br
+			} else {
+				left := &pes[i-1]
+				diagCost, diagRun = left.cost2, left.run2
+				vertCost, vertRun = left.cost1, left.run1
+			}
+			if j == 0 {
+				// Vertical only: run increments, clamped at the cap.
+				newCost = d + vertCost
+				newRun = vertRun
+				if newRun < cap_ {
+					newRun++
+				}
+			} else {
+				diag := diagCost - bonus*diagRun
+				if diag <= vertCost {
+					newCost = d + diag
+					newRun = boolToInt32(cap_ > 0)
+				} else {
+					newCost = d + vertCost
+					newRun = vertRun
+					if newRun < cap_ {
+						newRun++
+					}
+				}
+			}
+			pes[i].cost2, pes[i].run2 = pes[i].cost1, pes[i].run1
+			pes[i].cost1, pes[i].run1 = newCost, newRun
+
+			if i == n-1 {
+				row.Cost[j], row.Run[j] = newCost, newRun
+				if newCost < best.Cost {
+					best.Cost, best.EndPos = newCost, j
+					if useThreshold && stats.DecisionCycle < 0 && newCost <= threshold {
+						stats.DecisionCycle = startCycles + int64(2*n) + int64(c) + 1
+					}
+				}
+			}
+		}
+	}
+	row.Samples += n
+	return best
+}
+
+func boolToInt32(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,275 @@
+// Package metrics provides the classification and distribution statistics
+// used by the evaluation: confusion matrices, F-scores, threshold sweeps
+// (the ROC-style curves of Figure 17a), and score-distribution summaries
+// (the cost histograms of Figure 11).
+//
+// Score convention: throughout this repository a *lower* score means
+// "more target-like" (sDTW alignment cost). Sweeps and confusion matrices
+// therefore classify score <= threshold as positive. Classifiers whose
+// natural score is higher-is-better (e.g. aligner chain score) negate
+// their scores before using this package.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add accumulates one labelled decision.
+func (c *Confusion) Add(isTarget, classifiedTarget bool) {
+	switch {
+	case isTarget && classifiedTarget:
+		c.TP++
+	case isTarget && !classifiedTarget:
+		c.FN++
+	case !isTarget && classifiedTarget:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of classified items.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Precision returns TP/(TP+FP), or 0 when nothing was classified positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN) (the true-positive rate), or 0 without
+// positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FPR returns FP/(FP+TN) (the false-positive rate), or 0 without
+// negatives.
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// Accuracy returns (TP+TN)/Total, or 0 for an empty matrix.
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when either
+// is 0.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d (P=%.3f R=%.3f F1=%.3f)",
+		c.TP, c.FP, c.TN, c.FN, c.Precision(), c.Recall(), c.F1())
+}
+
+// SweepPoint is one threshold of a sweep.
+type SweepPoint struct {
+	Threshold float64
+	Confusion Confusion
+	TPR       float64
+	FPR       float64
+	F1        float64
+}
+
+// Sweep evaluates every decision threshold that distinguishes the given
+// scores: targetScores are the positive class, hostScores the negative,
+// and score <= threshold classifies as positive. The returned points are
+// ordered by ascending threshold and include the degenerate
+// all-negative/all-positive endpoints.
+func Sweep(targetScores, hostScores []float64) []SweepPoint {
+	thresholds := candidateThresholds(targetScores, hostScores)
+	if len(thresholds) == 0 {
+		return nil
+	}
+	points := make([]SweepPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		var c Confusion
+		for _, s := range targetScores {
+			c.Add(true, s <= th)
+		}
+		for _, s := range hostScores {
+			c.Add(false, s <= th)
+		}
+		points = append(points, SweepPoint{
+			Threshold: th,
+			Confusion: c,
+			TPR:       c.Recall(),
+			FPR:       c.FPR(),
+			F1:        c.F1(),
+		})
+	}
+	return points
+}
+
+// candidateThresholds returns midpoints between adjacent distinct scores
+// plus below-min and above-max sentinels.
+func candidateThresholds(a, b []float64) []float64 {
+	all := make([]float64, 0, len(a)+len(b))
+	all = append(all, a...)
+	all = append(all, b...)
+	if len(all) == 0 {
+		return nil
+	}
+	sort.Float64s(all)
+	out := []float64{all[0] - 1}
+	for i := 1; i < len(all); i++ {
+		if all[i] != all[i-1] {
+			out = append(out, (all[i]+all[i-1])/2)
+		}
+	}
+	out = append(out, all[len(all)-1]+1)
+	return out
+}
+
+// BestF1 returns the sweep point with the maximum F-score (the quantity
+// plotted in Figure 18), or a zero point for empty input.
+func BestF1(targetScores, hostScores []float64) SweepPoint {
+	var best SweepPoint
+	for _, p := range Sweep(targetScores, hostScores) {
+		if p.F1 > best.F1 {
+			best = p
+		}
+	}
+	return best
+}
+
+// AUC computes the area under the TPR/FPR curve of a sweep by the
+// trapezoid rule. 0.5 is chance; 1.0 is perfect separation.
+func AUC(points []SweepPoint) float64 {
+	if len(points) < 2 {
+		return 0
+	}
+	// Points are ordered by threshold, which makes FPR non-decreasing.
+	var area float64
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area
+}
+
+// Summary describes a score distribution.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, Median, Max   float64
+	P10, P25, P75, P90 float64
+}
+
+// Summarize computes distribution statistics of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = sum / float64(len(sorted))
+	var sq float64
+	for _, v := range sorted {
+		d := v - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(len(sorted)))
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Median = Percentile(sorted, 50)
+	s.P10 = Percentile(sorted, 10)
+	s.P25 = Percentile(sorted, 25)
+	s.P75 = Percentile(sorted, 75)
+	s.P90 = Percentile(sorted, 90)
+	return s
+}
+
+// Percentile returns the p-th percentile (0-100) of sorted data by linear
+// interpolation. The input must already be sorted.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// OverlapCoefficient estimates the overlap of two empirical distributions:
+// the fraction of probability mass shared by their normalized histograms
+// over a common range. 0 means perfectly separable (what Figure 11 shows
+// at long prefixes), 1 means identical.
+func OverlapCoefficient(a, b []float64, bins int) float64 {
+	if len(a) == 0 || len(b) == 0 || bins <= 0 {
+		return 0
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range a {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	for _, v := range b {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if hi == lo {
+		return 1
+	}
+	ha := histogram(a, lo, hi, bins)
+	hb := histogram(b, lo, hi, bins)
+	var overlap float64
+	for i := 0; i < bins; i++ {
+		overlap += math.Min(ha[i]/float64(len(a)), hb[i]/float64(len(b)))
+	}
+	return overlap
+}
+
+func histogram(xs []float64, lo, hi float64, bins int) []float64 {
+	h := make([]float64, bins)
+	scale := float64(bins) / (hi - lo)
+	for _, v := range xs {
+		i := int((v - lo) * scale)
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		h[i]++
+	}
+	return h
+}

@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionCounters(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FN
+	c.Add(false, true)  // FP
+	c.Add(false, false) // TN
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Total() != 4 {
+		t.Errorf("total = %d", c.Total())
+	}
+	if c.Precision() != 0.5 || c.Recall() != 0.5 || c.FPR() != 0.5 || c.Accuracy() != 0.5 {
+		t.Errorf("rates wrong: %v", c)
+	}
+	if c.F1() != 0.5 {
+		t.Errorf("F1 = %v", c.F1())
+	}
+}
+
+func TestConfusionEmptyDenominators(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.FPR() != 0 || c.Accuracy() != 0 || c.F1() != 0 {
+		t.Error("empty confusion should produce all-zero rates")
+	}
+	if c.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestSweepPerfectSeparation(t *testing.T) {
+	targets := []float64{1, 2, 3}
+	hosts := []float64{10, 11, 12}
+	best := BestF1(targets, hosts)
+	if best.F1 != 1 {
+		t.Errorf("separable data best F1 = %v, want 1", best.F1)
+	}
+	if best.Threshold < 3 || best.Threshold > 10 {
+		t.Errorf("best threshold %v outside separating gap", best.Threshold)
+	}
+}
+
+func TestSweepEndpoints(t *testing.T) {
+	points := Sweep([]float64{5}, []float64{6})
+	first, last := points[0], points[len(points)-1]
+	if first.TPR != 0 || first.FPR != 0 {
+		t.Errorf("lowest threshold should classify nothing positive: %+v", first)
+	}
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Errorf("highest threshold should classify everything positive: %+v", last)
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	if pts := Sweep(nil, nil); pts != nil {
+		t.Errorf("empty sweep returned %d points", len(pts))
+	}
+}
+
+func TestSweepMonotoneRates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		targets := make([]float64, 20)
+		hosts := make([]float64, 20)
+		for i := range targets {
+			targets[i] = rng.NormFloat64() * 10
+			hosts[i] = rng.NormFloat64()*10 + 5
+		}
+		pts := Sweep(targets, hosts)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].TPR < pts[i-1].TPR || pts[i].FPR < pts[i-1].FPR {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// Perfect separation: AUC 1.
+	pts := Sweep([]float64{1, 2}, []float64{10, 11})
+	if auc := AUC(pts); math.Abs(auc-1) > 1e-9 {
+		t.Errorf("separable AUC = %v, want 1", auc)
+	}
+	// Identical distributions: AUC ~0.5.
+	same := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if auc := AUC(Sweep(same, same)); math.Abs(auc-0.5) > 1e-9 {
+		t.Errorf("identical AUC = %v, want 0.5", auc)
+	}
+	if AUC(nil) != 0 {
+		t.Error("AUC of nothing should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Median != 2.5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P25 != 1.75 || s.P75 != 3.25 {
+		t.Errorf("quartiles = %v, %v", s.P25, s.P75)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []float64{1, 2, 3}
+	if Percentile(sorted, 0) != 1 || Percentile(sorted, 100) != 3 {
+		t.Error("percentile endpoints wrong")
+	}
+	if Percentile(sorted, 50) != 2 {
+		t.Error("median wrong")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	if Percentile(sorted, -5) != 1 || Percentile(sorted, 150) != 3 {
+		t.Error("out-of-range percentile not clamped")
+	}
+}
+
+func TestOverlapCoefficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	far := make([]float64, 500)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+		far[i] = rng.NormFloat64() + 100
+	}
+	if ov := OverlapCoefficient(a, b, 30); ov < 0.6 {
+		t.Errorf("same-distribution overlap %v, want high", ov)
+	}
+	if ov := OverlapCoefficient(a, far, 30); ov > 0.01 {
+		t.Errorf("disjoint overlap %v, want ~0", ov)
+	}
+	if OverlapCoefficient(nil, a, 10) != 0 {
+		t.Error("empty input overlap should be 0")
+	}
+	if OverlapCoefficient([]float64{1}, []float64{1}, 10) != 1 {
+		t.Error("identical point masses should overlap fully")
+	}
+}
+
+func TestOverlapBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 50)
+		b := make([]float64, 70)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 3
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()*3 + rng.Float64()*5
+		}
+		ov := OverlapCoefficient(a, b, 20)
+		return ov >= 0 && ov <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestF1PicksInteriorThreshold(t *testing.T) {
+	// Overlapping distributions: best F1 should be strictly between the
+	// extremes and below 1.
+	rng := rand.New(rand.NewSource(2))
+	targets := make([]float64, 200)
+	hosts := make([]float64, 200)
+	for i := range targets {
+		targets[i] = rng.NormFloat64()
+		hosts[i] = rng.NormFloat64() + 2
+	}
+	best := BestF1(targets, hosts)
+	if best.F1 <= 0.5 || best.F1 >= 1 {
+		t.Errorf("overlapping best F1 = %v, want interior value", best.F1)
+	}
+}

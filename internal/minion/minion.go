@@ -1,0 +1,316 @@
+// Package minion is a discrete-event simulator of an ONT flow cell running
+// Read Until: channels capture reads, sequence them at a fixed base rate,
+// eject them early when the classifier says so, occasionally become
+// blocked, and recover when the flow cell is washed with nuclease and
+// re-muxed — the wet-lab experiment of paper Figure 20.
+//
+// The simulator validates the closed-form runtime model in
+// internal/readuntil and produces the channel-activity and yield series
+// the paper plots.
+package minion
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Config describes the flow cell.
+type Config struct {
+	// Channels is the number of concurrently sequencing pores (512 on a
+	// MinION).
+	Channels int
+	// BasesPerSec is the per-pore translocation rate (~450).
+	BasesPerSec float64
+	// SamplesPerBase converts bases to raw samples (~10).
+	SamplesPerBase float64
+	// CaptureMeanSec is the mean idle time between a pore finishing one
+	// read and capturing the next (exponentially distributed).
+	CaptureMeanSec float64
+	// EjectSec is the dead time of reversing the pore bias to eject a
+	// read.
+	EjectSec float64
+	// BlockRatePerHour is the Poisson rate (per channel-hour of wall
+	// time) at which a pore becomes blocked; blocked pores stay dark
+	// until the next nuclease wash. Blocking is wall-clock chemistry,
+	// independent of what the pore sequences: the paper's wet-lab
+	// experiment (Figure 20) found Read Until pores no less healthy
+	// than control pores.
+	BlockRatePerHour float64
+}
+
+// DefaultConfig is the MinION R9.4.1 operating point.
+func DefaultConfig() Config {
+	return Config{
+		Channels:         512,
+		BasesPerSec:      450,
+		SamplesPerBase:   10,
+		CaptureMeanSec:   1.0,
+		EjectSec:         0.5,
+		BlockRatePerHour: 0.25,
+	}
+}
+
+// Validate reports nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0:
+		return fmt.Errorf("minion: Channels must be positive")
+	case c.BasesPerSec <= 0:
+		return fmt.Errorf("minion: BasesPerSec must be positive")
+	case c.BlockRatePerHour < 0:
+		return fmt.Errorf("minion: BlockRatePerHour must be non-negative")
+	}
+	return nil
+}
+
+// ReadPlan is one read arriving at a pore.
+type ReadPlan struct {
+	LengthBases int
+	Target      bool
+}
+
+// ReadSource draws the next read captured by a pore.
+type ReadSource func(rng *rand.Rand) ReadPlan
+
+// Decision is a classifier's verdict for the simulator: whether to eject
+// and after how many sequenced bases the decision takes effect (prefix
+// plus latency-equivalent bases).
+type Decision struct {
+	Eject         bool
+	DecisionBases int
+}
+
+// Classifier models Read Until decisions statistically (the DES does not
+// run the actual DP per read; accuracy enters through TPR/FPR draws).
+type Classifier func(rng *rand.Rand, r ReadPlan) Decision
+
+// SequenceAll is the control arm: never eject.
+func SequenceAll(*rand.Rand, ReadPlan) Decision { return Decision{} }
+
+// ThresholdClassifier builds a stochastic classifier from operating-point
+// statistics: viral reads are kept with probability tpr, host reads with
+// probability fpr; decisions happen after decisionBases.
+func ThresholdClassifier(tpr, fpr float64, decisionBases int) Classifier {
+	return func(rng *rand.Rand, r ReadPlan) Decision {
+		keepProb := fpr
+		if r.Target {
+			keepProb = tpr
+		}
+		if rng.Float64() < keepProb {
+			return Decision{}
+		}
+		return Decision{Eject: true, DecisionBases: decisionBases}
+	}
+}
+
+// Sample is one point of the activity time series.
+type Sample struct {
+	Time           float64
+	ActiveChannels int
+	TargetBases    int64
+	TotalBases     int64
+}
+
+// RunResult aggregates a simulation.
+type RunResult struct {
+	Series       []Sample
+	TargetBases  int64 // bases of fully sequenced target reads
+	TotalBases   int64 // all sequenced bases incl. ejected prefixes
+	ReadsFull    int
+	ReadsEjected int
+	BlockedAtEnd int
+}
+
+// Coverage converts target yield into fold coverage of a genome.
+func (r RunResult) Coverage(genomeLen int) float64 {
+	if genomeLen <= 0 {
+		return 0
+	}
+	return float64(r.TargetBases) / float64(genomeLen)
+}
+
+// Simulator runs flow-cell experiments.
+type Simulator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New constructs a simulator.
+func New(cfg Config, seed int64) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// event kinds
+const (
+	evReadDone = iota // read finished or ejected: account, schedule capture
+	evWash            // nuclease wash: unblock every pore
+	evBlock           // pore chemistry failure: channel goes dark
+)
+
+type event struct {
+	time    float64
+	kind    int
+	channel int
+	// gen guards against stale events after a channel is blocked or
+	// washed: events from an older generation are dropped.
+	gen int
+	// payload for evReadDone accounting
+	bases       int64
+	targetBases int64
+	ejected     bool
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run simulates the flow cell for duration seconds. Washes lists wall-clock
+// times at which the cell is nuclease-washed and re-muxed (unblocking all
+// pores). The activity series is sampled every sampleEvery seconds.
+func (s *Simulator) Run(duration float64, washes []float64, src ReadSource, cls Classifier, sampleEvery float64) RunResult {
+	cfg := s.cfg
+	var res RunResult
+	blocked := make([]bool, cfg.Channels)
+	active := cfg.Channels
+
+	gen := make([]int, cfg.Channels)
+	h := &eventHeap{}
+	heap.Init(h)
+	for _, w := range washes {
+		heap.Push(h, event{time: w, kind: evWash})
+	}
+	scheduleBlock := func(ch int, now float64) {
+		if cfg.BlockRatePerHour <= 0 {
+			return
+		}
+		heap.Push(h, event{
+			time:    now + s.rng.ExpFloat64()*3600/cfg.BlockRatePerHour,
+			kind:    evBlock,
+			channel: ch,
+			gen:     gen[ch],
+		})
+	}
+	for ch := 0; ch < cfg.Channels; ch++ {
+		s.scheduleNext(h, ch, s.rng.ExpFloat64()*cfg.CaptureMeanSec, gen[ch], src, cls)
+		scheduleBlock(ch, 0)
+	}
+
+	nextSample := sampleEvery
+	if sampleEvery <= 0 {
+		nextSample = duration + 1
+	}
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(event)
+		if ev.time > duration {
+			break
+		}
+		for nextSample <= ev.time {
+			res.Series = append(res.Series, Sample{
+				Time:           nextSample,
+				ActiveChannels: active,
+				TargetBases:    res.TargetBases,
+				TotalBases:     res.TotalBases,
+			})
+			nextSample += sampleEvery
+		}
+		switch ev.kind {
+		case evWash:
+			for ch := range blocked {
+				if blocked[ch] {
+					blocked[ch] = false
+					active++
+					gen[ch]++
+					s.scheduleNext(h, ch, ev.time+s.rng.ExpFloat64()*cfg.CaptureMeanSec, gen[ch], src, cls)
+					scheduleBlock(ch, ev.time)
+				}
+			}
+		case evBlock:
+			if ev.gen != gen[ev.channel] || blocked[ev.channel] {
+				continue // superseded by a wash
+			}
+			blocked[ev.channel] = true
+			active--
+			gen[ev.channel]++ // kill the in-flight read
+		case evReadDone:
+			if ev.gen != gen[ev.channel] {
+				continue // pore died mid-read; yield lost
+			}
+			res.TotalBases += ev.bases
+			res.TargetBases += ev.targetBases
+			if ev.ejected {
+				res.ReadsEjected++
+			} else {
+				res.ReadsFull++
+			}
+			s.scheduleNext(h, ev.channel, ev.time+s.rng.ExpFloat64()*cfg.CaptureMeanSec, gen[ev.channel], src, cls)
+		}
+	}
+	for _, b := range blocked {
+		if b {
+			res.BlockedAtEnd++
+		}
+	}
+	res.Series = append(res.Series, Sample{
+		Time:           duration,
+		ActiveChannels: active,
+		TargetBases:    res.TargetBases,
+		TotalBases:     res.TotalBases,
+	})
+	return res
+}
+
+// scheduleNext draws the channel's next read, applies the classifier, and
+// enqueues its completion event.
+func (s *Simulator) scheduleNext(h *eventHeap, ch int, startTime float64, generation int, src ReadSource, cls Classifier) {
+	cfg := s.cfg
+	plan := src(s.rng)
+	d := cls(s.rng, plan)
+	bases := plan.LengthBases
+	dead := 0.0
+	ejected := false
+	if d.Eject && d.DecisionBases < plan.LengthBases {
+		bases = d.DecisionBases
+		dead = cfg.EjectSec
+		ejected = true
+	}
+	seqTime := float64(bases) / cfg.BasesPerSec
+	var target int64
+	if plan.Target && !ejected {
+		target = int64(bases)
+	}
+	heap.Push(h, event{
+		time:        startTime + seqTime + dead,
+		kind:        evReadDone,
+		channel:     ch,
+		gen:         generation,
+		bases:       int64(bases),
+		targetBases: target,
+		ejected:     ejected,
+	})
+}
+
+// UniformSource builds a ReadSource with fixed-length reads and a given
+// target fraction — the configuration used to cross-check the analytical
+// model.
+func UniformSource(targetLen, hostLen int, targetFraction float64) ReadSource {
+	return func(rng *rand.Rand) ReadPlan {
+		if rng.Float64() < targetFraction {
+			return ReadPlan{LengthBases: targetLen, Target: true}
+		}
+		return ReadPlan{LengthBases: hostLen, Target: false}
+	}
+}

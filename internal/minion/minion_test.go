@@ -1,0 +1,204 @@
+package minion
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.Channels = 0
+	if bad.Validate() == nil {
+		t.Error("zero channels accepted")
+	}
+	bad = DefaultConfig()
+	bad.BasesPerSec = -1
+	if bad.Validate() == nil {
+		t.Error("negative base rate accepted")
+	}
+	bad = DefaultConfig()
+	bad.BlockRatePerHour = -1
+	if bad.Validate() == nil {
+		t.Error("negative blocking rate accepted")
+	}
+	if _, err := New(bad, 1); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+func TestRunConservation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 64
+	cfg.BlockRatePerHour = 0
+	sim, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := UniformSource(2000, 6000, 0.5)
+	res := sim.Run(600, nil, src, SequenceAll, 0)
+	if res.ReadsEjected != 0 {
+		t.Errorf("control arm ejected %d reads", res.ReadsEjected)
+	}
+	if res.ReadsFull == 0 || res.TotalBases == 0 {
+		t.Fatal("no sequencing happened")
+	}
+	// With 50% targets at 2k and hosts at 6k, target share of bases is
+	// 2/(2+6) = 25%.
+	share := float64(res.TargetBases) / float64(res.TotalBases)
+	if share < 0.18 || share > 0.32 {
+		t.Errorf("target base share %.3f, want ~0.25", share)
+	}
+}
+
+func TestReadUntilIncreasesTargetYield(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 128
+	cfg.BlockRatePerHour = 0
+	src := UniformSource(2000, 6000, 0.05)
+
+	simA, _ := New(cfg, 2)
+	control := simA.Run(1200, nil, src, SequenceAll, 0)
+	simB, _ := New(cfg, 2)
+	ru := simB.Run(1200, nil, src, ThresholdClassifier(0.95, 0.05, 250), 0)
+
+	if ru.TargetBases <= control.TargetBases {
+		t.Errorf("Read Until target yield %d not above control %d",
+			ru.TargetBases, control.TargetBases)
+	}
+	// The paper's core claim: enrichment by ejecting >90% of host reads.
+	gain := float64(ru.TargetBases) / float64(control.TargetBases)
+	if gain < 1.5 {
+		t.Errorf("enrichment factor %.2f, want > 1.5", gain)
+	}
+	if ru.ReadsEjected == 0 {
+		t.Error("Read Until arm never ejected")
+	}
+}
+
+func TestBlockedPoresDecline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 256
+	cfg.BlockRatePerHour = 1.0
+	sim, _ := New(cfg, 3)
+	res := sim.Run(3600, nil, UniformSource(2000, 6000, 0.1), SequenceAll, 300)
+	if res.BlockedAtEnd == 0 {
+		t.Error("no pores blocked despite positive blocking probability")
+	}
+	first := res.Series[0].ActiveChannels
+	last := res.Series[len(res.Series)-1].ActiveChannels
+	if last >= first {
+		t.Errorf("active channels did not decline: %d -> %d", first, last)
+	}
+}
+
+func TestWashRestoresChannels(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 256
+	cfg.BlockRatePerHour = 1.0
+	sim, _ := New(cfg, 4)
+	res := sim.Run(7200, []float64{3600}, UniformSource(2000, 6000, 0.1), SequenceAll, 20)
+
+	// Find activity just before and just after the wash.
+	var before, after int
+	for _, s := range res.Series {
+		if s.Time <= 3600 {
+			before = s.ActiveChannels
+		}
+		if s.Time > 3600 && after == 0 {
+			after = s.ActiveChannels
+		}
+	}
+	if after <= before {
+		t.Errorf("wash did not restore channels: before %d, after %d", before, after)
+	}
+	if after < cfg.Channels*90/100 {
+		t.Errorf("post-wash activity %d, want near %d", after, cfg.Channels)
+	}
+}
+
+// Figure 20's conclusion: Read Until does not damage the flow cell any
+// more than normal sequencing — with time-based blocking, control and
+// Read Until arms decline at similar rates and a wash restores both to
+// the same level.
+func TestReadUntilPoresAsHealthyAsControl(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 256
+	cfg.BlockRatePerHour = 0.8
+	src := UniformSource(2000, 6000, 0.01)
+
+	simA, _ := New(cfg, 5)
+	control := simA.Run(7200, []float64{5400}, src, SequenceAll, 300)
+	simB, _ := New(cfg, 5)
+	ru := simB.Run(7200, []float64{5400}, src, ThresholdClassifier(0.95, 0.05, 250), 300)
+
+	atTime := func(r RunResult, t float64) int {
+		best := r.Series[0].ActiveChannels
+		for _, s := range r.Series {
+			if s.Time <= t {
+				best = s.ActiveChannels
+			}
+		}
+		return best
+	}
+	// Pre-wash decline similar across arms (within 15% of channels).
+	preDiff := math.Abs(float64(atTime(ru, 5300) - atTime(control, 5300)))
+	if preDiff > float64(cfg.Channels)*0.15 {
+		t.Errorf("pre-wash levels differ too much: ru=%d control=%d",
+			atTime(ru, 5300), atTime(control, 5300))
+	}
+	// Post-wash recovery to the same level.
+	ruAfter, ctlAfter := atTime(ru, 5800), atTime(control, 5800)
+	if math.Abs(float64(ruAfter-ctlAfter)) > float64(cfg.Channels)*0.12 {
+		t.Errorf("post-wash levels differ: ru=%d control=%d", ruAfter, ctlAfter)
+	}
+	if ruAfter < cfg.Channels*80/100 {
+		t.Errorf("post-wash Read Until activity %d, want near %d", ruAfter, cfg.Channels)
+	}
+}
+
+func TestSeriesMonotoneTimeAndYield(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 64
+	sim, _ := New(cfg, 6)
+	res := sim.Run(1800, nil, UniformSource(2000, 6000, 0.2), SequenceAll, 60)
+	if len(res.Series) < 10 {
+		t.Fatalf("series too short: %d points", len(res.Series))
+	}
+	for i := 1; i < len(res.Series); i++ {
+		if res.Series[i].Time <= res.Series[i-1].Time {
+			t.Fatal("series times not increasing")
+		}
+		if res.Series[i].TotalBases < res.Series[i-1].TotalBases {
+			t.Fatal("total bases decreased")
+		}
+		if res.Series[i].TargetBases < res.Series[i-1].TargetBases {
+			t.Fatal("target bases decreased")
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	r := RunResult{TargetBases: 300000}
+	if c := r.Coverage(30000); c != 10 {
+		t.Errorf("coverage = %v, want 10", c)
+	}
+	if c := r.Coverage(0); c != 0 {
+		t.Errorf("coverage of zero-length genome = %v", c)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 32
+	src := UniformSource(1000, 4000, 0.3)
+	a, _ := New(cfg, 7)
+	b, _ := New(cfg, 7)
+	ra := a.Run(900, nil, src, ThresholdClassifier(0.9, 0.1, 200), 0)
+	rb := b.Run(900, nil, src, ThresholdClassifier(0.9, 0.1, 200), 0)
+	if ra.TotalBases != rb.TotalBases || ra.ReadsEjected != rb.ReadsEjected {
+		t.Error("simulation not deterministic for fixed seed")
+	}
+}

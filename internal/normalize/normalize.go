@@ -1,0 +1,167 @@
+// Package normalize implements the signal normalization used by
+// SquiggleFilter (paper Sections 4.2 and 5.3).
+//
+// Raw nanopore samples from different pores differ in gain and offset due to
+// slight differences in applied bias voltage, so each read prefix is
+// rescaled with mean / Mean-Absolute-Deviation (MAD) normalization before
+// sDTW. Two pipelines are provided:
+//
+//   - a float64 pipeline used by the "vanilla" software sDTW baseline, and
+//   - an integer pipeline that mirrors the hardware normalizer bit-for-bit:
+//     10-bit ADC codes in, 8-bit fixed-point values in the range [-4, 4]
+//     out (1 MAD == Int8Scale codes). The hardware model in internal/hw is
+//     property-tested for exact equivalence against ApplyInt8.
+package normalize
+
+// Int8Scale is the fixed-point scale of the 8-bit normalized output:
+// one MAD maps to 32 codes, so the representable range [-127, 127]
+// spans just under ±4 MAD — the paper's "fixed-point values in the
+// range [-4, 4]".
+const Int8Scale = 32
+
+// ClampSigma is the outlier clamp applied by the float pipeline, matching
+// the ±4 MAD range representable by the integer pipeline.
+const ClampSigma = 4.0
+
+// Stats holds the location/scale estimates of a sample window.
+type Stats struct {
+	Mean float64
+	MAD  float64 // mean absolute deviation from Mean
+}
+
+// ComputeStats returns the mean and mean-absolute-deviation of x.
+// A zero-length or perfectly flat input yields MAD 0; Apply treats that as
+// scale 1 to avoid dividing by zero.
+func ComputeStats(x []float64) Stats {
+	if len(x) == 0 {
+		return Stats{}
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	mean := sum / float64(len(x))
+	var dev float64
+	for _, v := range x {
+		d := v - mean
+		if d < 0 {
+			d = -d
+		}
+		dev += d
+	}
+	return Stats{Mean: mean, MAD: dev / float64(len(x))}
+}
+
+// Apply normalizes x with s, clamping outliers to ±ClampSigma.
+func Apply(x []float64, s Stats) []float64 {
+	scale := s.MAD
+	if scale == 0 {
+		scale = 1
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		z := (v - s.Mean) / scale
+		if z > ClampSigma {
+			z = ClampSigma
+		} else if z < -ClampSigma {
+			z = -ClampSigma
+		}
+		out[i] = z
+	}
+	return out
+}
+
+// Normalize is shorthand for Apply(x, ComputeStats(x)).
+func Normalize(x []float64) []float64 {
+	return Apply(x, ComputeStats(x))
+}
+
+// IntStats computes the integer mean and MAD of 10-bit ADC codes exactly as
+// the hardware accumulator does: a running sum divided with rounding after
+// the window completes. The returned MAD is at least 1 so it can be used
+// directly as a divisor.
+func IntStats(x []int16) (mean, mad int32) {
+	if len(x) == 0 {
+		return 0, 1
+	}
+	n := int64(len(x))
+	var sum int64
+	for _, v := range x {
+		sum += int64(v)
+	}
+	mean = int32((sum + n/2) / n)
+	var dev int64
+	for _, v := range x {
+		d := int64(v) - int64(mean)
+		if d < 0 {
+			d = -d
+		}
+		dev += d
+	}
+	mad = int32((dev + n/2) / n)
+	if mad < 1 {
+		mad = 1
+	}
+	return mean, mad
+}
+
+// QuantizeInt converts one ADC code to the 8-bit fixed-point representation
+// given integer mean/MAD: q = round((x-mean)*Int8Scale/mad) clamped to
+// [-127, 127]. Division rounds half away from zero, which is what a
+// hardware divider with symmetric rounding produces.
+func QuantizeInt(x int16, mean, mad int32) int8 {
+	num := (int64(x) - int64(mean)) * Int8Scale
+	d := int64(mad)
+	var q int64
+	if num >= 0 {
+		q = (num + d/2) / d
+	} else {
+		q = (num - d/2) / d
+	}
+	if q > 127 {
+		q = 127
+	} else if q < -127 {
+		q = -127
+	}
+	return int8(q)
+}
+
+// ApplyInt8 runs the full integer normalization pipeline over a window of
+// ADC codes. This is the functional reference for the hardware normalizer.
+func ApplyInt8(x []int16) []int8 {
+	mean, mad := IntStats(x)
+	out := make([]int8, len(x))
+	for i, v := range x {
+		out[i] = QuantizeInt(v, mean, mad)
+	}
+	return out
+}
+
+// QuantizeFloat converts a float z-score (already normalized) to the same
+// 8-bit fixed-point representation. Used to quantize the precomputed
+// reference squiggle once at programming time.
+func QuantizeFloat(z float64) int8 {
+	v := z * Int8Scale
+	var q int64
+	if v >= 0 {
+		q = int64(v + 0.5)
+	} else {
+		q = int64(v - 0.5)
+	}
+	if q > 127 {
+		q = 127
+	} else if q < -127 {
+		q = -127
+	}
+	return int8(q)
+}
+
+// QuantizeSlice float-normalizes x and quantizes every element.
+func QuantizeSlice(x []float64) []int8 {
+	z := Normalize(x)
+	out := make([]int8, len(z))
+	for i, v := range z {
+		out[i] = QuantizeFloat(v)
+	}
+	return out
+}

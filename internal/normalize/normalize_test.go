@@ -1,0 +1,218 @@
+package normalize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeStatsKnown(t *testing.T) {
+	s := ComputeStats([]float64{1, 2, 3, 4})
+	if s.Mean != 2.5 {
+		t.Errorf("mean = %v, want 2.5", s.Mean)
+	}
+	if s.MAD != 1 {
+		t.Errorf("MAD = %v, want 1", s.MAD)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(nil)
+	if s.Mean != 0 || s.MAD != 0 {
+		t.Errorf("stats of empty input = %+v, want zeros", s)
+	}
+}
+
+func TestNormalizeFlatSignal(t *testing.T) {
+	out := Normalize([]float64{5, 5, 5})
+	for _, v := range out {
+		if v != 0 {
+			t.Fatalf("flat signal normalized to %v, want all zeros", out)
+		}
+	}
+}
+
+func TestNormalizeZeroMeanUnitMAD(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = 90 + rng.NormFloat64()*12
+	}
+	out := Normalize(x)
+	s := ComputeStats(out)
+	if math.Abs(s.Mean) > 0.01 {
+		t.Errorf("normalized mean = %v, want ~0", s.Mean)
+	}
+	if math.Abs(s.MAD-1) > 0.02 {
+		t.Errorf("normalized MAD = %v, want ~1 (clamping loses a little)", s.MAD)
+	}
+}
+
+func TestNormalizeClampsOutliers(t *testing.T) {
+	x := []float64{0, 0, 0, 0, 0, 0, 0, 1000}
+	out := Normalize(x)
+	for _, v := range out {
+		if v > ClampSigma || v < -ClampSigma {
+			t.Fatalf("value %v outside clamp range", v)
+		}
+	}
+}
+
+// Normalization must be invariant to affine transforms of the input —
+// this is exactly why the paper normalizes each read (Figure 8c).
+func TestNormalizeAffineInvariance(t *testing.T) {
+	f := func(seed int64, gainRaw, offsetRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gain := 0.5 + float64(gainRaw)/128.0 // [0.5, 2.5)
+		offset := float64(offsetRaw) - 128
+		x := make([]float64, 256)
+		y := make([]float64, 256)
+		for i := range x {
+			x[i] = 90 + rng.NormFloat64()*12
+			y[i] = gain*x[i] + offset
+		}
+		nx, ny := Normalize(x), Normalize(y)
+		for i := range nx {
+			if math.Abs(nx[i]-ny[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntStatsMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]int16, 2000)
+	fx := make([]float64, 2000)
+	for i := range x {
+		x[i] = int16(rng.Intn(1024))
+		fx[i] = float64(x[i])
+	}
+	mean, mad := IntStats(x)
+	fs := ComputeStats(fx)
+	if math.Abs(float64(mean)-fs.Mean) > 1 {
+		t.Errorf("int mean %d vs float mean %v", mean, fs.Mean)
+	}
+	if math.Abs(float64(mad)-fs.MAD) > 1 {
+		t.Errorf("int MAD %d vs float MAD %v", mad, fs.MAD)
+	}
+}
+
+func TestIntStatsEmpty(t *testing.T) {
+	mean, mad := IntStats(nil)
+	if mean != 0 || mad != 1 {
+		t.Errorf("IntStats(nil) = %d, %d; want 0, 1", mean, mad)
+	}
+}
+
+func TestIntStatsFlatMADFloor(t *testing.T) {
+	_, mad := IntStats([]int16{512, 512, 512})
+	if mad != 1 {
+		t.Errorf("flat MAD = %d, want floor of 1", mad)
+	}
+}
+
+func TestQuantizeIntBounds(t *testing.T) {
+	f := func(x int16, meanRaw int16, madRaw uint8) bool {
+		mad := int32(madRaw%200) + 1
+		q := QuantizeInt(x&1023, int32(meanRaw)%1024, mad)
+		return q >= -127 && q <= 127
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeIntRounding(t *testing.T) {
+	// (x-mean)*32/mad with symmetric rounding:
+	// x=11, mean=10, mad=64 -> 32/64 = 0.5 -> rounds to 1
+	if q := QuantizeInt(11, 10, 64); q != 1 {
+		t.Errorf("QuantizeInt rounding: got %d, want 1", q)
+	}
+	if q := QuantizeInt(9, 10, 64); q != -1 {
+		t.Errorf("QuantizeInt rounding (negative): got %d, want -1", q)
+	}
+}
+
+func TestApplyInt8MatchesPerSampleQuantize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]int16, 500)
+	for i := range x {
+		x[i] = int16(rng.Intn(1024))
+	}
+	mean, mad := IntStats(x)
+	got := ApplyInt8(x)
+	for i, v := range x {
+		if want := QuantizeInt(v, mean, mad); got[i] != want {
+			t.Fatalf("sample %d: ApplyInt8 %d != QuantizeInt %d", i, got[i], want)
+		}
+	}
+}
+
+func TestApplyInt8ApproximatesFloatPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := make([]int16, 2000)
+	fx := make([]float64, 2000)
+	for i := range x {
+		v := 400 + rng.NormFloat64()*80
+		x[i] = int16(v)
+		fx[i] = float64(x[i])
+	}
+	qi := ApplyInt8(x)
+	zf := Normalize(fx)
+	var maxErr float64
+	for i := range qi {
+		err := math.Abs(float64(qi[i])/Int8Scale - zf[i])
+		if err > maxErr {
+			maxErr = err
+		}
+	}
+	// one integer-rounding step in mean/MAD plus half a code of
+	// quantization: comfortably under 0.1 MAD.
+	if maxErr > 0.1 {
+		t.Errorf("max |int8 - float| = %v MAD, want < 0.1", maxErr)
+	}
+}
+
+func TestQuantizeFloatSaturation(t *testing.T) {
+	if q := QuantizeFloat(100); q != 127 {
+		t.Errorf("positive saturation: got %d", q)
+	}
+	if q := QuantizeFloat(-100); q != -127 {
+		t.Errorf("negative saturation: got %d", q)
+	}
+	if q := QuantizeFloat(1.0); q != Int8Scale {
+		t.Errorf("QuantizeFloat(1 MAD) = %d, want %d", q, Int8Scale)
+	}
+	if q := QuantizeFloat(0); q != 0 {
+		t.Errorf("QuantizeFloat(0) = %d, want 0", q)
+	}
+}
+
+func TestQuantizeFloatSymmetry(t *testing.T) {
+	f := func(zRaw int16) bool {
+		z := float64(zRaw) / 1000
+		return QuantizeFloat(z) == -QuantizeFloat(-z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeSliceBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, 300)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 50
+	}
+	for _, q := range QuantizeSlice(x) {
+		if q > 127 || q < -127 {
+			t.Fatalf("quantized value %d out of range", q)
+		}
+	}
+}

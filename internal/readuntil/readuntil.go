@@ -1,0 +1,203 @@
+// Package readuntil implements the paper's analytical sequencing-runtime
+// model (Section 6): given a specimen, a flow cell, and a classifier
+// operating point (TPR/FPR at a prefix length, with a decision latency),
+// it predicts the wall-clock time to assemble the target genome at the
+// desired coverage. The model generates Figures 17b/17c (Read Until
+// runtime vs. threshold), Figure 20's "time saved is cost saved" story,
+// and Figure 21 (future sequencer scaling), and is cross-validated against
+// the discrete-event simulator in internal/minion.
+package readuntil
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes the specimen and sequencing setup.
+type Params struct {
+	// Channels is the number of concurrently sequencing pores.
+	Channels int
+	// BasesPerSec is the per-pore sequencing rate.
+	BasesPerSec float64
+	// CaptureSec is the mean pore idle time between reads.
+	CaptureSec float64
+	// EjectSec is the pore dead time after a Read Until ejection.
+	EjectSec float64
+	// ViralFraction is the specimen's target-read proportion (the paper
+	// evaluates 1% and 0.1%).
+	ViralFraction float64
+	// ViralReadBases / HostReadBases are mean read lengths per class.
+	ViralReadBases int
+	HostReadBases  int
+	// GenomeLen and Coverage define the assembly goal (30x in the
+	// paper).
+	GenomeLen int
+	Coverage  float64
+}
+
+// DefaultParams is the repository-standard specimen model.
+func DefaultParams(genomeLen int, viralFraction float64) Params {
+	return Params{
+		Channels:       512,
+		BasesPerSec:    450,
+		CaptureSec:     1.0,
+		EjectSec:       0.5,
+		ViralFraction:  viralFraction,
+		ViralReadBases: 2000,
+		HostReadBases:  6000,
+		GenomeLen:      genomeLen,
+		Coverage:       30,
+	}
+}
+
+// Validate reports impossible parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Channels <= 0 || p.BasesPerSec <= 0:
+		return fmt.Errorf("readuntil: channels and base rate must be positive")
+	case p.ViralFraction <= 0 || p.ViralFraction > 1:
+		return fmt.Errorf("readuntil: viral fraction %v out of (0,1]", p.ViralFraction)
+	case p.GenomeLen <= 0 || p.Coverage <= 0:
+		return fmt.Errorf("readuntil: genome length and coverage must be positive")
+	}
+	return nil
+}
+
+// ClassifierModel is one classifier operating point.
+type ClassifierModel struct {
+	Name string
+	// TPR is the probability a target read is kept; FPR the probability
+	// a host read is kept.
+	TPR, FPR float64
+	// PrefixBases is how many bases are sequenced before the classifier
+	// examines the read (prefix samples / ~10).
+	PrefixBases float64
+	// LatencySec is the classification latency; the pore keeps
+	// sequencing while waiting (latency * BasesPerSec extra bases).
+	LatencySec float64
+	// PoreFraction is the fraction of pores the classifier's throughput
+	// can serve in real time (1 for SquiggleFilter; <1 for GPU
+	// basecalling at scale — Figure 21). Zero means 1.
+	PoreFraction float64
+}
+
+// decisionBases is the number of bases sequenced before an ejection takes
+// effect.
+func (c ClassifierModel) decisionBases(basesPerSec float64) float64 {
+	return c.PrefixBases + c.LatencySec*basesPerSec
+}
+
+// ReadTimeNoRU is the expected pore-seconds per read without Read Until.
+func (p Params) ReadTimeNoRU() float64 {
+	meanLen := p.ViralFraction*float64(p.ViralReadBases) + (1-p.ViralFraction)*float64(p.HostReadBases)
+	return p.CaptureSec + meanLen/p.BasesPerSec
+}
+
+// RuntimeNoRU is the expected time to reach the coverage goal with every
+// read sequenced in full.
+func (p Params) RuntimeNoRU() float64 {
+	targetPerRead := p.ViralFraction * float64(p.ViralReadBases)
+	readsPerSec := float64(p.Channels) / p.ReadTimeNoRU()
+	return p.Coverage * float64(p.GenomeLen) / (readsPerSec * targetPerRead)
+}
+
+// Runtime is the expected time to reach the coverage goal with Read Until
+// at the given operating point. Pores beyond the classifier's throughput
+// budget run without Read Until (they still contribute coverage, just
+// slowly), which is how GPU classifiers degrade in Figure 21.
+func (p Params) Runtime(c ClassifierModel) float64 {
+	u := c.PoreFraction
+	if u <= 0 || u > 1 {
+		u = 1
+	}
+	ruChannels := u * float64(p.Channels)
+	plainChannels := float64(p.Channels) - ruChannels
+
+	ruRate := ruChannels * p.targetBasesPerSecondPerChannel(c)
+	plainRate := 0.0
+	if plainChannels > 0 {
+		plainRate = plainChannels * (p.ViralFraction * float64(p.ViralReadBases) / p.ReadTimeNoRU())
+	}
+	total := ruRate + plainRate
+	if total <= 0 {
+		return math.Inf(1)
+	}
+	return p.Coverage * float64(p.GenomeLen) / total
+}
+
+// targetBasesPerSecondPerChannel is the expected accepted-target-base
+// yield rate of one Read Until channel at operating point c.
+func (p Params) targetBasesPerSecondPerChannel(c ClassifierModel) float64 {
+	r := p.BasesPerSec
+	dec := c.decisionBases(r)
+
+	// Expected pore time per viral read.
+	tViral := p.CaptureSec +
+		c.TPR*float64(p.ViralReadBases)/r +
+		(1-c.TPR)*(dec/r+p.EjectSec)
+	// Expected pore time per host read.
+	tHost := p.CaptureSec +
+		c.FPR*float64(p.HostReadBases)/r +
+		(1-c.FPR)*(dec/r+p.EjectSec)
+
+	tRead := p.ViralFraction*tViral + (1-p.ViralFraction)*tHost
+	targetPerRead := p.ViralFraction * c.TPR * float64(p.ViralReadBases)
+	return targetPerRead / tRead
+}
+
+// Speedup is RuntimeNoRU / Runtime — the Read Until benefit factor
+// (0 for a divergent runtime).
+func (p Params) Speedup(c ClassifierModel) float64 {
+	t := p.Runtime(c)
+	if t == 0 || math.IsInf(t, 1) {
+		return 0
+	}
+	return p.RuntimeNoRU() / t
+}
+
+// StageModel is one stage of a multi-stage filter: after PrefixBases, the
+// stage ejects a host read with probability RejectHost and a target read
+// with probability RejectTarget (both conditional on the read reaching the
+// stage).
+type StageModel struct {
+	PrefixBases  float64
+	RejectHost   float64
+	RejectTarget float64
+}
+
+// RuntimeStaged extends Runtime to a multi-stage schedule with a shared
+// decision latency. Reads surviving every stage are sequenced in full.
+func (p Params) RuntimeStaged(stages []StageModel, latencySec float64) float64 {
+	if len(stages) == 0 {
+		return p.RuntimeNoRU()
+	}
+	r := p.BasesPerSec
+	expectedTime := func(rejects []float64, fullLen float64) (time, acceptProb float64) {
+		time = p.CaptureSec
+		reach := 1.0
+		for i, stage := range stages {
+			dec := stage.PrefixBases/r + latencySec
+			pRej := rejects[i]
+			time += reach * pRej * (dec + p.EjectSec)
+			reach *= 1 - pRej
+		}
+		time += reach * fullLen / r
+		return time, reach
+	}
+	hostRejects := make([]float64, len(stages))
+	viralRejects := make([]float64, len(stages))
+	for i, s := range stages {
+		hostRejects[i] = s.RejectHost
+		viralRejects[i] = s.RejectTarget
+	}
+	tViral, tprAll := expectedTime(viralRejects, float64(p.ViralReadBases))
+	tHost, _ := expectedTime(hostRejects, float64(p.HostReadBases))
+
+	tRead := p.ViralFraction*tViral + (1-p.ViralFraction)*tHost
+	targetPerRead := p.ViralFraction * tprAll * float64(p.ViralReadBases)
+	rate := float64(p.Channels) * targetPerRead / tRead
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return p.Coverage * float64(p.GenomeLen) / rate
+}

@@ -1,0 +1,187 @@
+package readuntil
+
+import (
+	"math"
+	"testing"
+
+	"squigglefilter/internal/minion"
+)
+
+func perfectClassifier() ClassifierModel {
+	return ClassifierModel{Name: "perfect", TPR: 1, FPR: 0, PrefixBases: 200, LatencySec: 0}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultParams(29903, 0.01).Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := DefaultParams(29903, 0.01)
+	bad.Channels = 0
+	if bad.Validate() == nil {
+		t.Error("zero channels accepted")
+	}
+	bad = DefaultParams(29903, 0)
+	if bad.Validate() == nil {
+		t.Error("zero viral fraction accepted")
+	}
+	bad = DefaultParams(0, 0.01)
+	if bad.Validate() == nil {
+		t.Error("zero genome accepted")
+	}
+}
+
+func TestReadUntilBeatsNoFilter(t *testing.T) {
+	p := DefaultParams(29903, 0.01)
+	ru := p.Runtime(perfectClassifier())
+	plain := p.RuntimeNoRU()
+	if ru >= plain {
+		t.Errorf("Read Until runtime %.0fs not below no-filter %.0fs", ru, plain)
+	}
+	if s := p.Speedup(perfectClassifier()); s < 2 {
+		t.Errorf("perfect-classifier speedup %.2f, want substantial", s)
+	}
+}
+
+func TestLowerViralFractionTakesLonger(t *testing.T) {
+	c := perfectClassifier()
+	t1 := DefaultParams(29903, 0.01).Runtime(c)
+	t01 := DefaultParams(29903, 0.001).Runtime(c)
+	if t01 <= t1 {
+		t.Errorf("0.1%% specimen (%.0fs) should take longer than 1%% (%.0fs)", t01, t1)
+	}
+}
+
+// Paper Section 7.2: Guppy-lite's 149 ms latency costs ~60 extra bases per
+// decision; SquiggleFilter's 0.04 ms costs none. Latency must strictly
+// hurt runtime.
+func TestLatencyHurtsRuntime(t *testing.T) {
+	p := DefaultParams(29903, 0.01)
+	fast := ClassifierModel{TPR: 0.95, FPR: 0.05, PrefixBases: 200, LatencySec: 0.00004}
+	slow := fast
+	slow.LatencySec = 0.149
+	if p.Runtime(slow) <= p.Runtime(fast) {
+		t.Error("149 ms latency did not increase runtime")
+	}
+	slower := fast
+	slower.LatencySec = 1.15 // Guppy
+	if p.Runtime(slower) <= p.Runtime(slow) {
+		t.Error("Guppy latency should hurt more than Guppy-lite latency")
+	}
+}
+
+func TestWorseAccuracyHurtsRuntime(t *testing.T) {
+	p := DefaultParams(48502, 0.01)
+	good := ClassifierModel{TPR: 0.95, FPR: 0.02, PrefixBases: 200}
+	lowTPR := good
+	lowTPR.TPR = 0.7
+	highFPR := good
+	highFPR.FPR = 0.4
+	if p.Runtime(lowTPR) <= p.Runtime(good) {
+		t.Error("losing target reads should increase runtime")
+	}
+	if p.Runtime(highFPR) <= p.Runtime(good) {
+		t.Error("sequencing host reads should increase runtime")
+	}
+}
+
+// Degenerate operating points collapse to sensible limits.
+func TestDegenerateOperatingPoints(t *testing.T) {
+	p := DefaultParams(29903, 0.01)
+	// Keep-everything (threshold -> infinity): like no Read Until but
+	// with the same classifier plumbing; runtime should be within a few
+	// percent of RuntimeNoRU.
+	keepAll := ClassifierModel{TPR: 1, FPR: 1, PrefixBases: 200}
+	if r := p.Runtime(keepAll); math.Abs(r-p.RuntimeNoRU())/p.RuntimeNoRU() > 0.02 {
+		t.Errorf("keep-all runtime %.0f vs no-RU %.0f", r, p.RuntimeNoRU())
+	}
+	// Reject-everything: no coverage ever accumulates; runtime diverges.
+	rejectAll := ClassifierModel{TPR: 0, FPR: 0, PrefixBases: 200}
+	if r := p.Runtime(rejectAll); !math.IsInf(r, 1) && r < p.RuntimeNoRU()*100 {
+		t.Errorf("reject-all runtime %.0f should diverge", r)
+	}
+}
+
+// A classifier that can only serve a fraction of pores loses most of the
+// benefit (Figure 21's mechanism).
+func TestPoreFractionDegradesBenefit(t *testing.T) {
+	p := DefaultParams(29903, 0.01)
+	full := ClassifierModel{TPR: 0.95, FPR: 0.05, PrefixBases: 200, PoreFraction: 1}
+	tenth := full
+	tenth.PoreFraction = 0.1
+	if p.Runtime(tenth) <= p.Runtime(full) {
+		t.Error("10% pore coverage should be slower than 100%")
+	}
+	// And still no worse than no Read Until at all.
+	if p.Runtime(tenth) > p.RuntimeNoRU()*1.001 {
+		t.Error("partial Read Until should never be worse than none")
+	}
+}
+
+// Cross-validation: the closed-form model must agree with the
+// discrete-event simulator within a few percent.
+func TestAnalyticalMatchesDES(t *testing.T) {
+	p := DefaultParams(29903, 0.05)
+	p.Channels = 256
+	c := ClassifierModel{TPR: 0.9, FPR: 0.1, PrefixBases: 250, LatencySec: 0}
+
+	cfg := minion.DefaultConfig()
+	cfg.Channels = p.Channels
+	cfg.CaptureMeanSec = p.CaptureSec
+	cfg.EjectSec = p.EjectSec
+	cfg.BlockRatePerHour = 0
+	sim, err := minion.New(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := minion.UniformSource(p.ViralReadBases, p.HostReadBases, p.ViralFraction)
+	dur := 4 * 3600.0
+	res := sim.Run(dur, nil, src, minion.ThresholdClassifier(c.TPR, c.FPR, int(c.PrefixBases)), 0)
+
+	// Convert both to target-base yield rates.
+	desRate := float64(res.TargetBases) / dur
+	analyticRate := p.Coverage * float64(p.GenomeLen) / p.Runtime(c) // bases/sec
+	relErr := math.Abs(desRate-analyticRate) / analyticRate
+	if relErr > 0.06 {
+		t.Errorf("DES yield rate %.1f b/s vs analytical %.1f b/s (%.1f%% apart)",
+			desRate, analyticRate, relErr*100)
+	}
+}
+
+func TestRuntimeStaged(t *testing.T) {
+	p := DefaultParams(48502, 0.01)
+	// Single stage expressed two ways must agree.
+	single := ClassifierModel{TPR: 0.92, FPR: 0.08, PrefixBases: 200, LatencySec: 0.001}
+	staged := []StageModel{{PrefixBases: 200, RejectHost: 0.92, RejectTarget: 0.08}}
+	a := p.Runtime(single)
+	b := p.RuntimeStaged(staged, 0.001)
+	if math.Abs(a-b)/a > 1e-9 {
+		t.Errorf("single-stage equivalence broken: %.2f vs %.2f", a, b)
+	}
+	// A good two-stage schedule (cheap early ejection of most hosts,
+	// aggressive second stage) must beat the single aggressive stage at
+	// the same final accuracy (paper Section 7.4: further 13.3% saving).
+	two := []StageModel{
+		{PrefixBases: 100, RejectHost: 0.70, RejectTarget: 0.02},
+		{PrefixBases: 500, RejectHost: 0.75, RejectTarget: 0.06},
+	}
+	one := []StageModel{
+		// Same end-to-end survival: host 0.3*0.25=0.075, viral
+		// 0.98*0.94=0.92, but decided only at 500 bases.
+		{PrefixBases: 500, RejectHost: 0.925, RejectTarget: 0.0788},
+	}
+	if p.RuntimeStaged(two, 0.001) >= p.RuntimeStaged(one, 0.001) {
+		t.Errorf("two-stage (%.0fs) should beat single-stage (%.0fs)",
+			p.RuntimeStaged(two, 0.001), p.RuntimeStaged(one, 0.001))
+	}
+	// Empty schedule falls back to no Read Until.
+	if p.RuntimeStaged(nil, 0) != p.RuntimeNoRU() {
+		t.Error("empty stage schedule should equal no-RU runtime")
+	}
+}
+
+func TestSpeedupZeroRuntime(t *testing.T) {
+	p := DefaultParams(29903, 0.01)
+	c := ClassifierModel{TPR: 0, FPR: 0, PrefixBases: 100}
+	// Divergent runtime -> speedup approaches 0; must not panic.
+	_ = p.Speedup(c)
+}

@@ -1,0 +1,164 @@
+package sdtw
+
+// Integer sDTW engine: the exact arithmetic the SquiggleFilter ASIC
+// performs. Inputs are 8-bit fixed-point normalized samples
+// (internal/normalize), costs are 32-bit signed integers (the match bonus
+// can drive costs negative), the distance is the absolute difference, and
+// reference deletions are removed so each cell depends only on the previous
+// query row:
+//
+//	S[i][j] = |Q[i]-R[j]| + min(S[i-1][j-1] - bonus(run[i-1][j-1]),
+//	                            S[i-1][j])
+//
+// Ties prefer the diagonal transition, matching the hardware comparator.
+// The row-only dependency is what makes the 1D systolic array in
+// internal/hw possible, and it is also what makes multi-stage filtering
+// cheap: saving the last row (one RowCell per reference position — the
+// values the last PE streams to DRAM) lets a later stage resume the DP
+// where the previous stage stopped.
+
+// Paper constants for the match bonus (Section 4.7).
+const (
+	DefaultMatchBonus = 10
+	DefaultBonusCap   = 10
+)
+
+// IntConfig parameterizes the integer engine. MatchBonus 0 disables the
+// bonus entirely.
+type IntConfig struct {
+	MatchBonus int32
+	BonusCap   int32
+}
+
+// DefaultIntConfig returns the paper's hardware configuration.
+func DefaultIntConfig() IntConfig {
+	return IntConfig{MatchBonus: DefaultMatchBonus, BonusCap: DefaultBonusCap}
+}
+
+// Row is the DP state after some number of query samples: per reference
+// position, the best alignment cost ending there (Cost) and the dwell
+// counter feeding the match bonus (Run — the number of query samples the
+// best path aligns to that position, clamped at the bonus cap since larger
+// values behave identically). A fresh Row (NewRow) encodes the subsequence
+// free-start boundary: zero cost everywhere with zero run length.
+//
+// This row is exactly what the accelerator's last PE streams to DRAM in
+// multi-stage mode.
+type Row struct {
+	Cost []int32
+	Run  []int32
+	// Samples counts the query samples consumed so far.
+	Samples int
+}
+
+// NewRow returns the boundary row for a reference of length m.
+func NewRow(m int) *Row {
+	return &Row{Cost: make([]int32, m), Run: make([]int32, m)}
+}
+
+// Len returns the reference length the row covers.
+func (r *Row) Len() int { return len(r.Cost) }
+
+// Clone deep-copies the row (stages snapshot their state before
+// continuing).
+func (r *Row) Clone() *Row {
+	out := &Row{
+		Cost:    make([]int32, len(r.Cost)),
+		Run:     make([]int32, len(r.Run)),
+		Samples: r.Samples,
+	}
+	copy(out.Cost, r.Cost)
+	copy(out.Run, r.Run)
+	return out
+}
+
+// IntResult reports an integer alignment.
+type IntResult struct {
+	Cost   int32
+	EndPos int
+}
+
+// Extend consumes additional query samples, updating row in place, and
+// returns the best cost over the row afterwards. The reference must be the
+// same slice (or content) used for every prior extension of this row.
+func Extend(row *Row, query []int8, ref []int8, cfg IntConfig) IntResult {
+	cost, run := row.Cost, row.Run
+	m := len(cost)
+	if m != len(ref) {
+		panic("sdtw: row/reference length mismatch")
+	}
+	if m == 0 {
+		return IntResult{EndPos: -1}
+	}
+	bonus, cap_ := cfg.MatchBonus, cfg.BonusCap
+	if bonus == 0 {
+		cap_ = 0 // run values are then only ever compared against cap_
+	}
+	for _, qs := range query {
+		q := int32(qs)
+		// diagCost/diagRun carry S[i-1][j-1] while we overwrite in place.
+		diagCost, diagRun := cost[0], run[0]
+		// Column 0: vertical transition only (no free restart once the
+		// DP has begun; the free start is encoded in the boundary row).
+		d := q - int32(ref[0])
+		if d < 0 {
+			d = -d
+		}
+		cost[0] += d
+		if run[0] < cap_ {
+			run[0]++
+		}
+		for j := 1; j < m; j++ {
+			d := q - int32(ref[j])
+			if d < 0 {
+				d = -d
+			}
+			// run is pre-clamped to cap, so the bonus is a single
+			// multiply (the hardware uses a shift-add of the capped
+			// dwell counter).
+			diag := diagCost - bonus*diagRun
+			vc, vr := cost[j], run[j]
+			diagCost, diagRun = vc, vr
+			if diag <= vc {
+				cost[j] = d + diag
+				run[j] = boolToInt32(cap_ > 0)
+			} else {
+				cost[j] = d + vc
+				if vr < cap_ {
+					vr++
+				}
+				run[j] = vr
+			}
+		}
+		row.Samples++
+	}
+	best := IntResult{Cost: cost[0], EndPos: 0}
+	for j := 1; j < m; j++ {
+		if cost[j] < best.Cost {
+			best.Cost, best.EndPos = cost[j], j
+		}
+	}
+	return best
+}
+
+func boolToInt32(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// IntDP runs a complete single-shot alignment of query against ref.
+func IntDP(query, ref []int8, cfg IntConfig) IntResult {
+	row := NewRow(len(ref))
+	return Extend(row, query, ref, cfg)
+}
+
+// IntDPRow is IntDP but also returns the final row, for callers that may
+// later resume the alignment with more query samples (multi-stage filter,
+// hardware DRAM write-back).
+func IntDPRow(query, ref []int8, cfg IntConfig) (IntResult, *Row) {
+	row := NewRow(len(ref))
+	res := Extend(row, query, ref, cfg)
+	return res, row
+}

@@ -1,0 +1,162 @@
+package sdtw
+
+// Additional cross-cutting invariants of the DP engines, complementing
+// sdtw_test.go: translation invariance, query/reference containment
+// monotonicity, bonus accounting bounds, and chunked-normalization
+// consistency of the staged filter.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"squigglefilter/internal/normalize"
+)
+
+// Adding a constant to both query and reference must not change absolute-
+// difference costs (the reason mean-normalization composes with the DP).
+func TestIntDPTranslationInvariance(t *testing.T) {
+	f := func(seed int64, shiftRaw int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shift := int32(shiftRaw % 20)
+		q := randInt8(rng, 30)
+		r := randInt8(rng, 50)
+		qs := make([]int8, len(q))
+		rs := make([]int8, len(r))
+		for i, v := range q {
+			x := int32(v) + shift
+			if x > 100 || x < -100 {
+				return true // skip saturating cases
+			}
+			qs[i] = int8(x)
+		}
+		for i, v := range r {
+			x := int32(v) + shift
+			if x > 100 || x < -100 {
+				return true
+			}
+			rs[i] = int8(x)
+		}
+		a := IntDP(q, r, DefaultIntConfig())
+		b := IntDP(qs, rs, DefaultIntConfig())
+		return a.Cost == b.Cost && a.EndPos == b.EndPos
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Extending the reference can only lower (or keep) the subsequence cost:
+// every alignment against the prefix is still available.
+func TestLongerReferenceNeverIncreasesCost(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randInt8(rng, 25)
+		r := randInt8(rng, 120)
+		short := IntDP(q, r[:60], DefaultIntConfig())
+		long := IntDP(q, r, DefaultIntConfig())
+		return long.Cost <= short.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Without a bonus, costs are sums of absolute differences and hence
+// non-negative and bounded by len(query)*254.
+func TestIntDPCostBoundsNoBonus(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randInt8(rng, 40)
+		r := randInt8(rng, 70)
+		res := IntDP(q, r, IntConfig{})
+		return res.Cost >= 0 && res.Cost <= int32(len(q))*254
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// With the bonus, the cost can only drop below the no-bonus cost by at
+// most MatchBonus*BonusCap per reference advance, i.e. bounded below by
+// -(len(query))*MatchBonus*BonusCap.
+func TestIntDPBonusLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randInt8(rng, 40)
+		r := randInt8(rng, 70)
+		cfg := DefaultIntConfig()
+		res := IntDP(q, r, cfg)
+		floor := -int32(len(q)) * cfg.MatchBonus * cfg.BonusCap
+		return res.Cost >= floor
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The staged filter normalizes per-chunk; classifying with a single stage
+// at prefix P must therefore equal CostAt on the same P when P is within
+// one chunk.
+func TestFilterStageCostMatchesCostAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ref := randInt8(rng, 400)
+	f, err := NewFilter(ref, DefaultIntConfig(), []Stage{{PrefixSamples: 1500, Threshold: 1 << 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]int16, 3000)
+	for i := range samples {
+		samples[i] = int16(rng.Intn(1024))
+	}
+	v := f.Classify(samples)
+	want := f.CostAt(samples, 1500)
+	if v.Cost() != want.Cost {
+		t.Errorf("staged cost %d != CostAt %d", v.Cost(), want.Cost)
+	}
+}
+
+// Two-stage classification must consume each chunk's own normalization
+// window: manually replaying the chunked pipeline reproduces the verdict
+// cost exactly.
+func TestFilterTwoStageChunkedNormalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	ref := randInt8(rng, 300)
+	cfg := DefaultIntConfig()
+	f, err := NewFilter(ref, cfg, []Stage{
+		{PrefixSamples: 1000, Threshold: 1 << 30},
+		{PrefixSamples: 2500, Threshold: 1 << 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]int16, 4000)
+	for i := range samples {
+		samples[i] = int16(rng.Intn(1024))
+	}
+	v := f.Classify(samples)
+
+	row := NewRow(len(ref))
+	Extend(row, normalize.ApplyInt8(samples[:1000]), ref, cfg)
+	res := Extend(row, normalize.ApplyInt8(samples[1000:2500]), ref, cfg)
+	if v.Cost() != res.Cost {
+		t.Errorf("two-stage verdict cost %d != chunked replay %d", v.Cost(), res.Cost)
+	}
+	if v.SamplesUsed != 2500 {
+		t.Errorf("SamplesUsed %d", v.SamplesUsed)
+	}
+}
+
+// EndPos must always index a real reference position.
+func TestIntDPEndPosInRange(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randInt8(rng, int(nRaw)+1)
+		r := randInt8(rng, int(mRaw)+1)
+		res := IntDP(q, r, DefaultIntConfig())
+		return res.EndPos >= 0 && res.EndPos < len(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

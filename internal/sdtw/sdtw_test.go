@@ -1,0 +1,321 @@
+package sdtw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randInt8(rng *rand.Rand, n int) []int8 {
+	out := make([]int8, n)
+	for i := range out {
+		out[i] = int8(rng.Intn(255) - 127)
+	}
+	return out
+}
+
+func randFloat(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func toFloat(x []int8) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func TestDPEmptyInputs(t *testing.T) {
+	if r := DP(nil, []float64{1, 2}, Vanilla()); r.Cost != 0 || r.EndPos != -1 {
+		t.Errorf("empty query: %+v", r)
+	}
+	if r := DP([]float64{1}, nil, Vanilla()); r.EndPos != -1 {
+		t.Errorf("empty ref: %+v", r)
+	}
+}
+
+func TestDPExactSubsequenceZeroCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := randFloat(rng, 500)
+	query := ref[120:240]
+	for _, cfg := range []Config{
+		Vanilla(),
+		{Distance: Absolute, AllowRefDeletion: true},
+		{Distance: Squared},
+		{Distance: Absolute},
+	} {
+		r := DP(query, ref, cfg)
+		if r.Cost != 0 {
+			t.Errorf("cfg %+v: exact subsequence cost %v, want 0", cfg, r.Cost)
+		}
+		if r.EndPos != 239 {
+			t.Errorf("cfg %+v: EndPos %d, want 239", cfg, r.EndPos)
+		}
+	}
+}
+
+func TestDPSingleSampleQuery(t *testing.T) {
+	ref := []float64{5, 1, 3}
+	r := DP([]float64{1.5}, ref, Vanilla())
+	if r.EndPos != 1 {
+		t.Errorf("EndPos %d, want 1", r.EndPos)
+	}
+	if want := 0.25; r.Cost != want {
+		t.Errorf("Cost %v, want %v", r.Cost, want)
+	}
+}
+
+func TestDPLastRowShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := randFloat(rng, 64)
+	query := randFloat(rng, 16)
+	r := DP(query, ref, Vanilla())
+	if len(r.LastRow) != len(ref) {
+		t.Fatalf("LastRow length %d, want %d", len(r.LastRow), len(ref))
+	}
+	min := r.LastRow[0]
+	for _, v := range r.LastRow {
+		if v < min {
+			min = v
+		}
+	}
+	if min != r.Cost {
+		t.Errorf("Cost %v != min(LastRow) %v", r.Cost, min)
+	}
+}
+
+// Allowing reference deletions can only reduce the optimal cost when no
+// bonus is active (it is a strict superset of transitions).
+func TestRefDeletionNeverIncreasesCost(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := randFloat(rng, 80)
+		query := randFloat(rng, 30)
+		with := DP(query, ref, Config{Distance: Squared, AllowRefDeletion: true})
+		without := DP(query, ref, Config{Distance: Squared})
+		return with.Cost <= without.Cost+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The match bonus only ever subtracts from path costs, so the optimum with
+// a bonus is never above the optimum without it.
+func TestBonusNeverIncreasesCost(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := randFloat(rng, 80)
+		query := randFloat(rng, 30)
+		plain := DP(query, ref, Config{Distance: Absolute})
+		bonus := DP(query, ref, Config{Distance: Absolute, MatchBonus: 10, BonusCap: 10})
+		return bonus.Cost <= plain.Cost+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSquaredVsAbsoluteDiffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := randFloat(rng, 50)
+	query := randFloat(rng, 20)
+	sq := DP(query, ref, Config{Distance: Squared})
+	ab := DP(query, ref, Config{Distance: Absolute})
+	if sq.Cost == ab.Cost {
+		t.Error("squared and absolute metrics produced identical costs on random data")
+	}
+}
+
+func TestDistanceKindString(t *testing.T) {
+	if Squared.String() != "squared" || Absolute.String() != "absolute" {
+		t.Error("DistanceKind names wrong")
+	}
+	if DistanceKind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+// --- integer engine ---
+
+func TestIntDPEmpty(t *testing.T) {
+	if r := IntDP(nil, []int8{1}, DefaultIntConfig()); r.Cost != 0 {
+		t.Errorf("empty query cost %d", r.Cost)
+	}
+	if r := IntDP([]int8{1}, nil, DefaultIntConfig()); r.EndPos != -1 {
+		t.Errorf("empty ref: %+v", r)
+	}
+}
+
+func TestIntDPExactSubsequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ref := randInt8(rng, 300)
+	query := ref[50:120]
+	r := IntDP(query, ref, IntConfig{}) // no bonus
+	if r.Cost != 0 {
+		t.Errorf("exact subsequence cost %d, want 0", r.Cost)
+	}
+	if r.EndPos != 119 {
+		t.Errorf("EndPos %d, want 119", r.EndPos)
+	}
+}
+
+func TestIntDPBonusGoesNegativeOnMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := randInt8(rng, 300)
+	query := ref[50:120]
+	r := IntDP(query, ref, DefaultIntConfig())
+	if r.Cost >= 0 {
+		t.Errorf("perfect match with bonus should have negative cost, got %d", r.Cost)
+	}
+}
+
+// The integer engine must agree exactly with the float engine run on the
+// same (integer-valued) inputs under the hardware configuration. Float
+// arithmetic on small integers is exact, so equality is strict.
+func TestIntMatchesFloatEngine(t *testing.T) {
+	f := func(seed int64, useBonus bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := randInt8(rng, 120)
+		query := randInt8(rng, 40)
+		icfg := IntConfig{}
+		fcfg := Config{Distance: Absolute}
+		if useBonus {
+			icfg = DefaultIntConfig()
+			fcfg.MatchBonus, fcfg.BonusCap = DefaultMatchBonus, DefaultBonusCap
+		}
+		ir := IntDP(query, ref, icfg)
+		fr := DP(toFloat(query), toFloat(ref), fcfg)
+		return float64(ir.Cost) == fr.Cost && ir.EndPos == fr.EndPos
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Resuming a saved row with the remaining query must equal the single-shot
+// DP over the whole query — the invariant that makes multi-stage filtering
+// and the hardware's DRAM write-back correct.
+func TestExtendResumeEquivalence(t *testing.T) {
+	f := func(seed int64, splitRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := randInt8(rng, 100)
+		query := randInt8(rng, 60)
+		split := int(splitRaw) % len(query)
+		cfg := DefaultIntConfig()
+
+		single := IntDP(query, ref, cfg)
+
+		row := NewRow(len(ref))
+		Extend(row, query[:split], ref, cfg)
+		resumed := Extend(row, query[split:], ref, cfg)
+
+		if row.Samples != len(query) {
+			return false
+		}
+		return single.Cost == resumed.Cost && single.EndPos == resumed.EndPos
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtendThreeWaySplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ref := randInt8(rng, 200)
+	query := randInt8(rng, 90)
+	cfg := DefaultIntConfig()
+	single := IntDP(query, ref, cfg)
+	row := NewRow(len(ref))
+	Extend(row, query[:30], ref, cfg)
+	Extend(row, query[30:60], ref, cfg)
+	r := Extend(row, query[60:], ref, cfg)
+	if r.Cost != single.Cost || r.EndPos != single.EndPos {
+		t.Errorf("3-way resume %+v != single-shot %+v", r, single)
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ref := randInt8(rng, 50)
+	query := randInt8(rng, 20)
+	cfg := DefaultIntConfig()
+	row := NewRow(len(ref))
+	Extend(row, query[:10], ref, cfg)
+	snap := row.Clone()
+	Extend(row, query[10:], ref, cfg)
+	if snap.Samples != 10 {
+		t.Errorf("clone samples %d, want 10", snap.Samples)
+	}
+	// Resuming from the snapshot must still match single-shot.
+	r := Extend(snap, query[10:], ref, cfg)
+	single := IntDP(query, ref, cfg)
+	if r.Cost != single.Cost {
+		t.Error("clone was not independent of the original row")
+	}
+}
+
+func TestExtendMismatchedRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Extend(NewRow(5), []int8{1}, []int8{1, 2}, IntConfig{})
+}
+
+func TestIntDPRowReturnsFinalRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ref := randInt8(rng, 64)
+	query := randInt8(rng, 32)
+	res, row := IntDPRow(query, ref, DefaultIntConfig())
+	if row.Samples != len(query) || row.Len() != len(ref) {
+		t.Errorf("row samples %d, len %d", row.Samples, row.Len())
+	}
+	min := row.Cost[0]
+	for _, c := range row.Cost {
+		if c < min {
+			min = c
+		}
+	}
+	if min != res.Cost {
+		t.Errorf("result cost %d != row min %d", res.Cost, min)
+	}
+}
+
+func TestOpCount(t *testing.T) {
+	if OpCount(2000, 60000) != 120_000_000 {
+		t.Errorf("OpCount = %d", OpCount(2000, 60000))
+	}
+}
+
+func BenchmarkIntDP2000x60k(b *testing.B) {
+	// The paper's headline operating point: a 2,000-sample read prefix
+	// against the SARS-CoV-2 both-strand reference (~60k samples).
+	rng := rand.New(rand.NewSource(9))
+	ref := randInt8(rng, 60000)
+	query := randInt8(rng, 2000)
+	cfg := DefaultIntConfig()
+	b.SetBytes(int64(len(query)) * int64(len(ref)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntDP(query, ref, cfg)
+	}
+}
+
+func BenchmarkFloatDP2000x60k(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	ref := randFloat(rng, 60000)
+	query := randFloat(rng, 2000)
+	cfg := Vanilla()
+	b.SetBytes(int64(len(query)) * int64(len(ref)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DP(query, ref, cfg)
+	}
+}

@@ -1,0 +1,102 @@
+package sigio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"squigglefilter/internal/genome"
+	"squigglefilter/internal/pore"
+	"squigglefilter/internal/squiggle"
+)
+
+func makeReads(t *testing.T, n int) []*squiggle.Read {
+	t.Helper()
+	g := &genome.Genome{Name: "g", Seq: genome.Random(rand.New(rand.NewSource(5)), 5000)}
+	sim, err := squiggle.NewSimulator(pore.DefaultModel(), squiggle.DefaultConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := &genome.Genome{Name: "h", Seq: genome.Random(rand.New(rand.NewSource(6)), 20000)}
+	spec := squiggle.DefaultSampleSpec(g, host, 0.5, n)
+	return sim.GenerateSample(spec)
+}
+
+func TestRoundTrip(t *testing.T) {
+	reads := makeReads(t, 10)
+	var buf bytes.Buffer
+	if err := Write(&buf, reads); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reads) {
+		t.Fatalf("round-trip count %d != %d", len(got), len(reads))
+	}
+	for i := range reads {
+		a, b := reads[i], got[i]
+		if a.ID != b.ID || a.Source != b.Source || a.Target != b.Target ||
+			a.Reverse != b.Reverse || a.Pos != b.Pos {
+			t.Fatalf("read %d metadata mismatch: %+v vs %+v", i, a, b)
+		}
+		if a.Bases.String() != b.Bases.String() {
+			t.Fatalf("read %d bases mismatch", i)
+		}
+		if len(a.Samples) != len(b.Samples) {
+			t.Fatalf("read %d sample count mismatch", i)
+		}
+		for j := range a.Samples {
+			if a.Samples[j] != b.Samples[j] {
+				t.Fatalf("read %d sample %d mismatch", i, j)
+			}
+		}
+		for j := range a.Events {
+			if a.Events[j] != b.Events[j] {
+				t.Fatalf("read %d event %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty dataset round-tripped to %d reads", len(got))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOPE....")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	reads := makeReads(t, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, reads); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("SQGL")
+	buf.Write([]byte{9, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := Read(&buf); err == nil {
+		t.Error("future version accepted")
+	}
+}

@@ -1,0 +1,299 @@
+// Package squiggle simulates the MinION's raw current output ("squiggles").
+//
+// The paper's datasets are real FAST5 recordings (lambda phage from the
+// authors' lab, SARS-CoV-2 from CADDE, human from ONT open data); those are
+// unavailable offline, so this simulator reproduces the three signal
+// artefacts SquiggleFilter's algorithm is explicitly designed around
+// (Sections 4.1–4.2, Figure 8):
+//
+//   - variable translocation rate: each base dwells in the pore for a
+//     variable number of samples (~10 on average), so signals for the same
+//     sequence are out-of-sync — the reason DTW is needed;
+//   - per-pore bias: each read gets a random gain and offset — the reason
+//     per-read normalization is needed;
+//   - measurement noise and 10-bit ADC quantization.
+//
+// Reads carry ground truth (origin, strand, per-base event boundaries) so
+// classifiers and basecallers can be scored exactly.
+package squiggle
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"squigglefilter/internal/genome"
+	"squigglefilter/internal/pore"
+)
+
+// Config controls the signal model. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	// DwellMean is the mean number of samples per base (paper: ~10,
+	// i.e. ~4,000 samples/s at 450 bases/s× — see internal/minion).
+	DwellMean float64
+	// DwellSD is the per-base dwell standard deviation.
+	DwellSD float64
+	// DwellMin/DwellMax clamp per-base dwell.
+	DwellMin, DwellMax int
+	// RateSD is the per-read translocation-rate variability: each read's
+	// mean dwell is scaled by N(1, RateSD). The paper's match bonus
+	// (Section 4.7) exists precisely to cancel this effect.
+	RateSD float64
+	// NoisePA is the Gaussian current-noise standard deviation in pA.
+	NoisePA float64
+	// GainSD and OffsetPA model per-read pore bias: measured current is
+	// gain*(level+noise) + offset with gain ~ N(1, GainSD) and
+	// offset ~ N(0, OffsetPA).
+	GainSD   float64
+	OffsetPA float64
+	// ADC digitization: currents are mapped linearly from
+	// [ADCMinPA, ADCMaxPA] onto [0, 2^ADCBits-1] and clamped.
+	ADCMinPA, ADCMaxPA float64
+	ADCBits            int
+}
+
+// DefaultConfig returns the R9.4.1-like signal model used throughout the
+// repository.
+func DefaultConfig() Config {
+	return Config{
+		DwellMean: 10,
+		DwellSD:   3,
+		DwellMin:  2,
+		DwellMax:  40,
+		RateSD:    0.12,
+		NoisePA:   2.0,
+		GainSD:    0.05,
+		OffsetPA:  5.0,
+		ADCMinPA:  40,
+		ADCMaxPA:  160,
+		ADCBits:   10,
+	}
+}
+
+// Validate reports configuration errors a simulator cannot run with.
+func (c Config) Validate() error {
+	switch {
+	case c.DwellMean <= 0:
+		return fmt.Errorf("squiggle: DwellMean must be positive, got %v", c.DwellMean)
+	case c.DwellMin < 1:
+		return fmt.Errorf("squiggle: DwellMin must be >= 1, got %d", c.DwellMin)
+	case c.DwellMax < c.DwellMin:
+		return fmt.Errorf("squiggle: DwellMax %d < DwellMin %d", c.DwellMax, c.DwellMin)
+	case c.ADCMaxPA <= c.ADCMinPA:
+		return fmt.Errorf("squiggle: ADC range [%v, %v] is empty", c.ADCMinPA, c.ADCMaxPA)
+	case c.ADCBits < 1 || c.ADCBits > 14:
+		return fmt.Errorf("squiggle: ADCBits must be in [1,14], got %d", c.ADCBits)
+	}
+	return nil
+}
+
+// Read is one simulated nanopore read: the raw ADC samples plus the ground
+// truth needed to score classifiers.
+type Read struct {
+	ID string
+	// Target reports whether the read originates from the target genome
+	// (the positive class for Read Until filtering).
+	Target bool
+	// Source identifies the genome of origin by name.
+	Source string
+	// Pos is the 0-based start of the fragment on the forward strand of
+	// its source genome; Reverse reports whether the read is the
+	// reverse-complement orientation.
+	Pos     int
+	Reverse bool
+	// Bases is the true base sequence that passed through the pore.
+	Bases genome.Sequence
+	// Samples are the raw 10-bit ADC codes.
+	Samples []int16
+	// Events[i] is the index of the first sample produced while k-mer i
+	// (bases i..i+K-1) occupied the pore. len(Events) == len(Bases)-K+1.
+	Events []int
+}
+
+// NumSamples returns the raw signal length.
+func (r *Read) NumSamples() int { return len(r.Samples) }
+
+// Prefix returns the first n samples (or all samples if the read is
+// shorter), which is what Read Until sees when making a decision.
+func (r *Read) Prefix(n int) []int16 {
+	if n > len(r.Samples) {
+		n = len(r.Samples)
+	}
+	return r.Samples[:n]
+}
+
+// Simulator turns base sequences into squiggles.
+type Simulator struct {
+	cfg   Config
+	model *pore.Model
+	rng   *rand.Rand
+}
+
+// NewSimulator constructs a simulator drawing randomness from seed.
+func NewSimulator(model *pore.Model, cfg Config, seed int64) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg, model: model, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Squiggle synthesizes the raw signal for fragment, returning the ADC
+// samples and per-kmer event start indices. Fragments shorter than the
+// pore context (6 bases) produce an empty signal.
+func (s *Simulator) Squiggle(fragment genome.Sequence) ([]int16, []int) {
+	levels := s.model.ReferenceSquiggle(fragment)
+	if len(levels) == 0 {
+		return nil, nil
+	}
+	cfg := s.cfg
+	rate := 1 + s.rng.NormFloat64()*cfg.RateSD
+	if rate < 0.5 {
+		rate = 0.5
+	}
+	gain := 1 + s.rng.NormFloat64()*cfg.GainSD
+	offset := s.rng.NormFloat64() * cfg.OffsetPA
+	adcMax := int16(1<<cfg.ADCBits - 1)
+	adcScale := float64(adcMax) / (cfg.ADCMaxPA - cfg.ADCMinPA)
+
+	samples := make([]int16, 0, int(float64(len(levels))*cfg.DwellMean))
+	events := make([]int, len(levels))
+	for i, level := range levels {
+		events[i] = len(samples)
+		dwell := int(math.Round(cfg.DwellMean*rate + s.rng.NormFloat64()*cfg.DwellSD))
+		if dwell < cfg.DwellMin {
+			dwell = cfg.DwellMin
+		} else if dwell > cfg.DwellMax {
+			dwell = cfg.DwellMax
+		}
+		for j := 0; j < dwell; j++ {
+			pa := gain*(level+s.rng.NormFloat64()*cfg.NoisePA) + offset
+			code := int16(math.Round((pa - cfg.ADCMinPA) * adcScale))
+			if code < 0 {
+				code = 0
+			} else if code > adcMax {
+				code = adcMax
+			}
+			samples = append(samples, code)
+		}
+	}
+	return samples, events
+}
+
+// ReadFrom simulates a read of the given fragment of g.
+// pos/length are clamped to the genome; reverse selects the strand.
+func (s *Simulator) ReadFrom(g *genome.Genome, pos, length int, reverse bool) *Read {
+	frag := g.Seq.Fragment(pos, length)
+	if reverse {
+		frag = frag.ReverseComplement()
+	} else {
+		frag = frag.Clone()
+	}
+	samples, events := s.Squiggle(frag)
+	return &Read{
+		Source:  g.Name,
+		Pos:     pos,
+		Reverse: reverse,
+		Bases:   frag,
+		Samples: samples,
+		Events:  events,
+	}
+}
+
+// SampleSpec describes a metagenomic specimen: a target virus hidden in
+// host background at a given abundance (the paper evaluates 1% and 0.1%
+// viral fractions).
+type SampleSpec struct {
+	Target *genome.Genome
+	Host   *genome.Genome
+	// ViralFraction is the probability that a read originates from Target.
+	ViralFraction float64
+	// NumReads is the total number of reads to generate.
+	NumReads int
+	// TargetLenMean / HostLenMean are the log-normal mean fragment
+	// lengths in bases. Host (human) fragments are typically longer.
+	TargetLenMean int
+	HostLenMean   int
+	// LenSigma is the log-normal shape parameter.
+	LenSigma float64
+	// MinLen floors fragment length so every read supports the longest
+	// prefix used in the experiments.
+	MinLen int
+}
+
+// DefaultSampleSpec returns a specimen spec with the repository's standard
+// read-length model.
+func DefaultSampleSpec(target, host *genome.Genome, viralFraction float64, numReads int) SampleSpec {
+	return SampleSpec{
+		Target:        target,
+		Host:          host,
+		ViralFraction: viralFraction,
+		NumReads:      numReads,
+		TargetLenMean: 2000,
+		HostLenMean:   6000,
+		LenSigma:      0.4,
+		MinLen:        700,
+	}
+}
+
+// GenerateSample simulates a full metagenomic specimen. Reads are labelled
+// with ground truth and numbered "r0000"... in generation order.
+func (s *Simulator) GenerateSample(spec SampleSpec) []*Read {
+	reads := make([]*Read, 0, spec.NumReads)
+	for i := 0; i < spec.NumReads; i++ {
+		target := s.rng.Float64() < spec.ViralFraction
+		g, mean := spec.Host, spec.HostLenMean
+		if target {
+			g, mean = spec.Target, spec.TargetLenMean
+		}
+		length := s.fragmentLength(mean, spec.LenSigma, spec.MinLen, g.Len())
+		pos := 0
+		if g.Len() > length {
+			pos = s.rng.Intn(g.Len() - length)
+		}
+		r := s.ReadFrom(g, pos, length, s.rng.Intn(2) == 1)
+		r.ID = fmt.Sprintf("r%04d", i)
+		r.Target = target
+		reads = append(reads, r)
+	}
+	return reads
+}
+
+// BalancedPair generates n target and n non-target reads with the same
+// length model — the balanced datasets used for accuracy experiments
+// (Figures 11, 17a, 18, 19 use 1,000 of each class).
+func (s *Simulator) BalancedPair(target, host *genome.Genome, n, lenMean int) (targets, hosts []*Read) {
+	targets = make([]*Read, n)
+	hosts = make([]*Read, n)
+	for i := 0; i < n; i++ {
+		length := s.fragmentLength(lenMean, 0.3, 700, target.Len())
+		pos := 0
+		if target.Len() > length {
+			pos = s.rng.Intn(target.Len() - length)
+		}
+		r := s.ReadFrom(target, pos, length, s.rng.Intn(2) == 1)
+		r.ID = fmt.Sprintf("t%04d", i)
+		r.Target = true
+		targets[i] = r
+
+		length = s.fragmentLength(lenMean, 0.3, 700, host.Len())
+		pos = s.rng.Intn(host.Len() - length)
+		h := s.ReadFrom(host, pos, length, s.rng.Intn(2) == 1)
+		h.ID = fmt.Sprintf("h%04d", i)
+		h.Target = false
+		hosts[i] = h
+	}
+	return targets, hosts
+}
+
+func (s *Simulator) fragmentLength(mean int, sigma float64, minLen, maxLen int) int {
+	mu := math.Log(float64(mean)) - sigma*sigma/2
+	length := int(math.Round(math.Exp(mu + s.rng.NormFloat64()*sigma)))
+	if length < minLen {
+		length = minLen
+	}
+	if length > maxLen {
+		length = maxLen
+	}
+	return length
+}

@@ -1,0 +1,268 @@
+package squiggle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"squigglefilter/internal/genome"
+	"squigglefilter/internal/normalize"
+	"squigglefilter/internal/pore"
+)
+
+func newSim(t testing.TB, seed int64) *Simulator {
+	t.Helper()
+	s, err := NewSimulator(pore.DefaultModel(), DefaultConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero dwell", func(c *Config) { c.DwellMean = 0 }},
+		{"dwell min", func(c *Config) { c.DwellMin = 0 }},
+		{"dwell max < min", func(c *Config) { c.DwellMax = c.DwellMin - 1 }},
+		{"empty ADC range", func(c *Config) { c.ADCMaxPA = c.ADCMinPA }},
+		{"bad ADC bits", func(c *Config) { c.ADCBits = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestSimulatorRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DwellMean = -1
+	if _, err := NewSimulator(pore.DefaultModel(), cfg, 1); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestSquiggleDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	frag := genome.Random(rng, 300)
+	a, _ := newSim(t, 42).Squiggle(frag)
+	b, _ := newSim(t, 42).Squiggle(frag)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestSquiggleSampleRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	frag := genome.Random(rng, 500)
+	samples, _ := newSim(t, 3).Squiggle(frag)
+	for i, v := range samples {
+		if v < 0 || v > 1023 {
+			t.Fatalf("sample %d = %d outside 10-bit range", i, v)
+		}
+	}
+}
+
+func TestSquiggleEventStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	frag := genome.Random(rng, 400)
+	samples, events := newSim(t, 4).Squiggle(frag)
+	if len(events) != len(frag)-pore.K+1 {
+		t.Fatalf("event count %d, want %d", len(events), len(frag)-pore.K+1)
+	}
+	if events[0] != 0 {
+		t.Errorf("first event at %d, want 0", events[0])
+	}
+	cfg := DefaultConfig()
+	for i := 1; i < len(events); i++ {
+		dwell := events[i] - events[i-1]
+		if dwell < cfg.DwellMin || dwell > cfg.DwellMax {
+			t.Fatalf("dwell %d at event %d outside [%d, %d]", dwell, i, cfg.DwellMin, cfg.DwellMax)
+		}
+	}
+	last := len(samples) - events[len(events)-1]
+	if last < cfg.DwellMin || last > cfg.DwellMax {
+		t.Errorf("final dwell %d outside bounds", last)
+	}
+}
+
+func TestSquiggleMeanDwell(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	frag := genome.Random(rng, 3000)
+	samples, events := newSim(t, 5).Squiggle(frag)
+	meanDwell := float64(len(samples)) / float64(len(events))
+	if meanDwell < 8 || meanDwell > 12 {
+		t.Errorf("mean dwell %v samples/base, want ~10", meanDwell)
+	}
+}
+
+func TestSquiggleTooShort(t *testing.T) {
+	samples, events := newSim(t, 6).Squiggle(genome.Sequence{genome.A, genome.C})
+	if samples != nil || events != nil {
+		t.Error("sub-kmer fragment should produce empty signal")
+	}
+}
+
+// The normalized squiggle of a read must track the normalized reference
+// squiggle at its true position: this is the physical basis of the whole
+// filter. Compare per-event medians against reference levels.
+func TestSquiggleTracksReference(t *testing.T) {
+	model := pore.DefaultModel()
+	g := &genome.Genome{Name: "g", Seq: genome.Random(rand.New(rand.NewSource(7)), 2000)}
+	sim := newSim(t, 8)
+	r := sim.ReadFrom(g, 100, 500, false)
+
+	norm := normalize.Normalize(toFloat(r.Samples))
+	refRaw := model.ReferenceSquiggle(r.Bases)
+	refNorm := normalize.Normalize(refRaw)
+
+	var sumAbs float64
+	n := 0
+	for i := 0; i < len(r.Events); i++ {
+		start := r.Events[i]
+		end := len(norm)
+		if i+1 < len(r.Events) {
+			end = r.Events[i+1]
+		}
+		var m float64
+		for _, v := range norm[start:end] {
+			m += v
+		}
+		m /= float64(end - start)
+		sumAbs += math.Abs(m - refNorm[i])
+		n++
+	}
+	if avg := sumAbs / float64(n); avg > 0.35 {
+		t.Errorf("mean |event level - reference| = %v MAD, want < 0.35", avg)
+	}
+}
+
+func TestReadFromForwardBases(t *testing.T) {
+	g := &genome.Genome{Name: "g", Seq: genome.Random(rand.New(rand.NewSource(9)), 1000)}
+	r := newSim(t, 10).ReadFrom(g, 50, 100, false)
+	if r.Bases.String() != g.Seq[50:150].String() {
+		t.Error("forward read bases do not match genome fragment")
+	}
+	if r.Reverse || r.Pos != 50 {
+		t.Errorf("metadata wrong: reverse=%v pos=%d", r.Reverse, r.Pos)
+	}
+}
+
+func TestReadFromReverseBases(t *testing.T) {
+	g := &genome.Genome{Name: "g", Seq: genome.Random(rand.New(rand.NewSource(11)), 1000)}
+	r := newSim(t, 12).ReadFrom(g, 50, 100, true)
+	want := g.Seq[50:150].ReverseComplement().String()
+	if r.Bases.String() != want {
+		t.Error("reverse read bases are not the reverse complement")
+	}
+}
+
+func TestReadPrefix(t *testing.T) {
+	g := &genome.Genome{Name: "g", Seq: genome.Random(rand.New(rand.NewSource(13)), 1000)}
+	r := newSim(t, 14).ReadFrom(g, 0, 500, false)
+	if got := len(r.Prefix(100)); got != 100 {
+		t.Errorf("prefix(100) length %d", got)
+	}
+	if got := len(r.Prefix(1 << 30)); got != len(r.Samples) {
+		t.Errorf("oversized prefix length %d, want %d", got, len(r.Samples))
+	}
+}
+
+func TestGenerateSampleComposition(t *testing.T) {
+	target := &genome.Genome{Name: "virus", Seq: genome.Random(rand.New(rand.NewSource(15)), 30000)}
+	host := &genome.Genome{Name: "host", Seq: genome.Random(rand.New(rand.NewSource(16)), 200000)}
+	sim := newSim(t, 17)
+	spec := DefaultSampleSpec(target, host, 0.3, 400)
+	reads := sim.GenerateSample(spec)
+	if len(reads) != 400 {
+		t.Fatalf("got %d reads", len(reads))
+	}
+	nTarget := 0
+	for _, r := range reads {
+		if r.Target {
+			nTarget++
+			if r.Source != "virus" {
+				t.Fatalf("target read sourced from %q", r.Source)
+			}
+		} else if r.Source != "host" {
+			t.Fatalf("host read sourced from %q", r.Source)
+		}
+		if len(r.Samples) == 0 {
+			t.Fatalf("read %s has no samples", r.ID)
+		}
+	}
+	// Binomial(400, 0.3): mean 120, sd ~9. Accept ±5 sd.
+	if nTarget < 75 || nTarget > 165 {
+		t.Errorf("viral reads = %d/400, want ~120", nTarget)
+	}
+}
+
+func TestGenerateSampleMinLength(t *testing.T) {
+	target := &genome.Genome{Name: "virus", Seq: genome.Random(rand.New(rand.NewSource(18)), 30000)}
+	host := &genome.Genome{Name: "host", Seq: genome.Random(rand.New(rand.NewSource(19)), 100000)}
+	sim := newSim(t, 20)
+	spec := DefaultSampleSpec(target, host, 0.5, 100)
+	for _, r := range sim.GenerateSample(spec) {
+		if len(r.Bases) < spec.MinLen {
+			t.Fatalf("read %s has %d bases, min is %d", r.ID, len(r.Bases), spec.MinLen)
+		}
+	}
+}
+
+func TestBalancedPair(t *testing.T) {
+	target := &genome.Genome{Name: "virus", Seq: genome.Random(rand.New(rand.NewSource(21)), 48000)}
+	host := &genome.Genome{Name: "host", Seq: genome.Random(rand.New(rand.NewSource(22)), 300000)}
+	sim := newSim(t, 23)
+	targets, hosts := sim.BalancedPair(target, host, 50, 1500)
+	if len(targets) != 50 || len(hosts) != 50 {
+		t.Fatalf("got %d targets, %d hosts", len(targets), len(hosts))
+	}
+	for i := range targets {
+		if !targets[i].Target || hosts[i].Target {
+			t.Fatal("labels wrong")
+		}
+		if targets[i].Source != "virus" || hosts[i].Source != "host" {
+			t.Fatal("sources wrong")
+		}
+	}
+}
+
+func TestFragmentLengthBounds(t *testing.T) {
+	sim := newSim(t, 24)
+	for i := 0; i < 1000; i++ {
+		l := sim.fragmentLength(2000, 0.4, 700, 30000)
+		if l < 700 || l > 30000 {
+			t.Fatalf("fragment length %d out of bounds", l)
+		}
+	}
+}
+
+func toFloat(x []int16) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func BenchmarkSquiggle2000Samples(b *testing.B) {
+	sim := newSim(b, 30)
+	frag := genome.Random(rand.New(rand.NewSource(31)), 205) // ~2000 samples
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Squiggle(frag)
+	}
+}

@@ -1,0 +1,148 @@
+// Package variant is the reference-guided assembly tail of the pipeline —
+// this repository's stand-in for Racon+Medaka (paper Section 3.1). Reads
+// that survive the filter are base-aligned to the reference, stacked into a
+// per-position pileup, and a consensus is called; differences from the
+// reference are the reported variants (the strain mutations of Table 2).
+//
+// The variant caller is off Read Until's critical path: it only ever sees
+// the ~1% of reads that the filter keeps.
+package variant
+
+import (
+	"fmt"
+
+	"squigglefilter/internal/align"
+	"squigglefilter/internal/genome"
+)
+
+// Pileup accumulates per-reference-position base counts.
+type Pileup struct {
+	counts [][4]int32
+	reads  int
+}
+
+// NewPileup returns an empty pileup over a reference of refLen bases.
+func NewPileup(refLen int) *Pileup {
+	return &Pileup{counts: make([][4]int32, refLen)}
+}
+
+// Reads returns the number of reads added.
+func (p *Pileup) Reads() int { return p.reads }
+
+// Depth returns the total base count at position pos.
+func (p *Pileup) Depth(pos int) int {
+	var d int32
+	for _, c := range p.counts[pos] {
+		d += c
+	}
+	return int(d)
+}
+
+// MeanCoverage returns the average depth across the reference.
+func (p *Pileup) MeanCoverage() float64 {
+	if len(p.counts) == 0 {
+		return 0
+	}
+	var total int64
+	for pos := range p.counts {
+		total += int64(p.Depth(pos))
+	}
+	return float64(total) / float64(len(p.counts))
+}
+
+// AddRead maps a basecalled read with ix, realigns it at base level, and
+// stacks its matched/substituted bases onto the pileup. Unmapped or
+// low-confidence reads are skipped and reported as false.
+func (p *Pileup) AddRead(ix *align.Index, read genome.Sequence, minScore int) bool {
+	m := ix.Map(read)
+	if !m.Mapped || m.Score < minScore {
+		return false
+	}
+	oriented := read
+	if m.Reverse {
+		oriented = read.ReverseComplement()
+	}
+	// Pad the window to absorb chaining-span error.
+	const pad = 40
+	start := m.RefStart - pad
+	if start < 0 {
+		start = 0
+	}
+	end := m.RefEnd + pad
+	window := ix.RefSlice(start, end)
+	if len(window) == 0 {
+		return false
+	}
+	_, ops := align.BandedGlobal(oriented, window, 64)
+	p.apply(oriented, ops, start)
+	p.reads++
+	return true
+}
+
+// apply walks an alignment, counting query bases at their reference
+// positions (insertions contribute nothing; deletions advance the
+// reference only).
+func (p *Pileup) apply(read genome.Sequence, ops []align.EditOp, refStart int) {
+	i, j := 0, refStart
+	for _, op := range ops {
+		switch op {
+		case align.OpMatch, align.OpSub:
+			if j >= 0 && j < len(p.counts) {
+				p.counts[j][read[i].Code()]++
+			}
+			i++
+			j++
+		case align.OpIns:
+			i++
+		case align.OpDel:
+			j++
+		}
+	}
+}
+
+// CallConfig tunes consensus calling.
+type CallConfig struct {
+	// MinDepth is the minimum pileup depth to call a position at all;
+	// shallower positions keep the reference base.
+	MinDepth int
+	// MinFraction is the minimum fraction of the depth the winning base
+	// must hold to override the reference.
+	MinFraction float64
+}
+
+// DefaultCallConfig matches the paper's 30x-coverage working point.
+func DefaultCallConfig() CallConfig {
+	return CallConfig{MinDepth: 8, MinFraction: 0.6}
+}
+
+// Consensus returns the consensus sequence and the variant list against
+// ref. Positions without sufficient evidence fall back to the reference
+// base (standard reference-guided behaviour).
+func (p *Pileup) Consensus(ref genome.Sequence, cfg CallConfig) (genome.Sequence, []genome.Mutation, error) {
+	if len(ref) != len(p.counts) {
+		return nil, nil, fmt.Errorf("variant: reference length %d does not match pileup %d", len(ref), len(p.counts))
+	}
+	cons := ref.Clone()
+	var muts []genome.Mutation
+	for pos := range p.counts {
+		depth := p.Depth(pos)
+		if depth < cfg.MinDepth {
+			continue
+		}
+		bestCode, bestCount := 0, int32(-1)
+		for code, n := range p.counts[pos] {
+			if n > bestCount {
+				bestCode, bestCount = code, n
+			}
+		}
+		if float64(bestCount) < cfg.MinFraction*float64(depth) {
+			continue
+		}
+		b := genome.FromCode(bestCode)
+		if b != ref[pos] {
+			muts = append(muts, genome.Mutation{Pos: pos, Ref: ref[pos], Alt: b})
+			cons[pos] = b
+		}
+	}
+	return cons, muts, nil
+}

@@ -1,0 +1,143 @@
+package variant
+
+import (
+	"math/rand"
+	"testing"
+
+	"squigglefilter/internal/align"
+	"squigglefilter/internal/basecall"
+	"squigglefilter/internal/genome"
+)
+
+func TestPileupEmpty(t *testing.T) {
+	p := NewPileup(100)
+	if p.Reads() != 0 || p.MeanCoverage() != 0 {
+		t.Error("fresh pileup not empty")
+	}
+	if p.Depth(50) != 0 {
+		t.Error("depth of empty pileup not zero")
+	}
+}
+
+func TestConsensusLengthMismatch(t *testing.T) {
+	p := NewPileup(100)
+	if _, _, err := p.Consensus(make(genome.Sequence, 50), DefaultCallConfig()); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+func TestAddReadRejectsRandom(t *testing.T) {
+	g := &genome.Genome{Name: "g", Seq: genome.Random(rand.New(rand.NewSource(1)), 20000)}
+	ix := align.BuildIndex(g, align.DefaultIndexConfig())
+	p := NewPileup(g.Len())
+	random := genome.Random(rand.New(rand.NewSource(2)), 400)
+	if p.AddRead(ix, random, 3) {
+		t.Error("random read accepted into pileup")
+	}
+}
+
+func TestPerfectReadsPerfectConsensus(t *testing.T) {
+	g := &genome.Genome{Name: "g", Seq: genome.Random(rand.New(rand.NewSource(3)), 8000)}
+	ix := align.BuildIndex(g, align.DefaultIndexConfig())
+	p := NewPileup(g.Len())
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		pos := rng.Intn(g.Len() - 600)
+		read := g.Seq.Fragment(pos, 600).Clone()
+		if rng.Intn(2) == 1 {
+			read = read.ReverseComplement()
+		}
+		if !p.AddRead(ix, read, 3) {
+			t.Fatalf("perfect read %d rejected", i)
+		}
+	}
+	cons, muts, err := p.Consensus(g.Seq, DefaultCallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(muts) != 0 {
+		t.Errorf("perfect reads produced %d variants: %v", len(muts), muts)
+	}
+	if cons.String() != g.Seq.String() {
+		t.Error("consensus differs from reference")
+	}
+}
+
+// End-to-end strain recovery: reads from a mutated strain, basecalled with
+// Guppy-lite-grade errors, must reproduce the strain's mutations — the
+// Table 2 scenario.
+func TestStrainMutationRecovery(t *testing.T) {
+	ref := &genome.Genome{Name: "ref", Seq: genome.Random(rand.New(rand.NewSource(5)), 10000)}
+	rng := rand.New(rand.NewSource(6))
+	strainSeq, truth := genome.Mutate(rng, ref.Seq, 12)
+
+	ix := align.BuildIndex(ref, align.DefaultIndexConfig())
+	p := NewPileup(ref.Len())
+	em := basecall.GuppyLite()
+	// ~40x coverage of 700-base reads.
+	numReads := 40 * ref.Len() / 700
+	for i := 0; i < numReads; i++ {
+		pos := rng.Intn(ref.Len() - 700)
+		frag := genome.Sequence(strainSeq).Fragment(pos, 700).Clone()
+		if rng.Intn(2) == 1 {
+			frag = frag.ReverseComplement()
+		}
+		p.AddRead(ix, em.Emulate(rng, frag), 3)
+	}
+	if cov := p.MeanCoverage(); cov < 20 {
+		t.Fatalf("mean coverage %.1f too low for calling", cov)
+	}
+	_, muts, err := p.Consensus(ref.Seq, DefaultCallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[int]genome.Base{}
+	for _, m := range muts {
+		found[m.Pos] = m.Alt
+	}
+	recovered := 0
+	for _, m := range truth {
+		if found[m.Pos] == m.Alt {
+			recovered++
+		}
+	}
+	if recovered < len(truth)-1 {
+		t.Errorf("recovered %d/%d strain mutations", recovered, len(truth))
+	}
+	falsePos := len(muts) - recovered
+	if falsePos > 2 {
+		t.Errorf("%d false-positive variants", falsePos)
+	}
+}
+
+func TestConsensusRespectsMinDepth(t *testing.T) {
+	g := &genome.Genome{Name: "g", Seq: genome.Random(rand.New(rand.NewSource(7)), 5000)}
+	ix := align.BuildIndex(g, align.DefaultIndexConfig())
+	p := NewPileup(g.Len())
+	// One single read: depth 1 everywhere it covers — below MinDepth, so
+	// no variants even if the read carried mutations.
+	mutated, _ := genome.Mutate(rand.New(rand.NewSource(8)), g.Seq, 50)
+	p.AddRead(ix, genome.Sequence(mutated).Fragment(1000, 800).Clone(), 3)
+	_, muts, err := p.Consensus(g.Seq, DefaultCallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(muts) != 0 {
+		t.Errorf("depth-1 pileup called %d variants", len(muts))
+	}
+}
+
+func TestMeanCoverageAccounting(t *testing.T) {
+	g := &genome.Genome{Name: "g", Seq: genome.Random(rand.New(rand.NewSource(9)), 4000)}
+	ix := align.BuildIndex(g, align.DefaultIndexConfig())
+	p := NewPileup(g.Len())
+	for i := 0; i < 10; i++ {
+		p.AddRead(ix, g.Seq.Fragment(0, 4000).Clone(), 3)
+	}
+	if p.Reads() != 10 {
+		t.Errorf("reads = %d", p.Reads())
+	}
+	if cov := p.MeanCoverage(); cov < 9.5 || cov > 10.5 {
+		t.Errorf("mean coverage %.2f, want ~10", cov)
+	}
+}

@@ -1,0 +1,246 @@
+// Package squigglefilter is a from-scratch reproduction of SquiggleFilter
+// (Dunn, Sadasivan, et al., MICRO 2021): a hardware-accelerated
+// subsequence-DTW filter that classifies raw nanopore signal ("squiggles")
+// against a target virus's reference genome so that non-target reads can
+// be ejected with the MinION's Read Until feature — without ever running
+// a basecaller.
+//
+// This package is the public API. A Detector is programmed once with a
+// reference genome and then classifies raw read prefixes:
+//
+//	det, err := squigglefilter.NewDetector(squigglefilter.DetectorConfig{
+//		Name:     "SARS-CoV-2",
+//		Sequence: refSeq, // ACGT string
+//	})
+//	verdict := det.Classify(rawSamples) // 10-bit ADC samples
+//	if verdict.Decision == squigglefilter.Reject {
+//		// tell the sequencer to eject the read
+//	}
+//
+// The heavy lifting lives in internal packages: the integer sDTW engine
+// (internal/sdtw), the cycle-accurate accelerator model (internal/hw), the
+// pore model and reference-squiggle construction (internal/pore), and the
+// Read Until runtime model (internal/readuntil). See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper reproduction.
+package squigglefilter
+
+import (
+	"fmt"
+	"time"
+
+	"squigglefilter/internal/genome"
+	"squigglefilter/internal/hw"
+	"squigglefilter/internal/metrics"
+	"squigglefilter/internal/pore"
+	"squigglefilter/internal/sdtw"
+)
+
+// Decision is a Read Until verdict.
+type Decision int
+
+// Verdict decisions.
+const (
+	// Continue: not enough signal yet; keep sequencing and ask again.
+	Continue Decision = iota
+	// Accept: the read matches the target; sequence it to completion.
+	Accept
+	// Reject: eject the read from the pore.
+	Reject
+)
+
+// String names the decision.
+func (d Decision) String() string { return sdtw.Decision(d).String() }
+
+// Stage is one threshold point of the (optionally multi-stage) filter:
+// after PrefixSamples raw samples, reads with alignment cost above
+// Threshold are ejected; at the last stage, reads at or below it are
+// accepted.
+type Stage struct {
+	PrefixSamples int
+	Threshold     int32
+}
+
+// DetectorConfig programs a Detector.
+type DetectorConfig struct {
+	// Name labels the target (reports only).
+	Name string
+	// Sequence is the target reference genome as an ACGT string.
+	// Genomes up to 50 kb (double-stranded equivalent) fit the
+	// hardware's 100 KB reference buffer, which covers almost every
+	// epidemic virus (paper Figure 10).
+	Sequence string
+	// Stages is the filter schedule. Empty means a single stage at the
+	// paper's default 2,000-sample prefix with a threshold calibrated as
+	// DefaultThresholdPerSample per prefix sample.
+	Stages []Stage
+	// MatchBonus / BonusCap tune the translocation-rate compensation
+	// (paper Section 4.7). Zero values select the paper defaults; set
+	// MatchBonus to a negative value to disable the bonus.
+	MatchBonus int32
+	BonusCap   int32
+}
+
+// DefaultThresholdPerSample is a robust default ejection threshold in
+// fixed-point cost units per prefix sample; the paper found a static
+// threshold "relatively robust across species and sequencing runs".
+const DefaultThresholdPerSample = 3
+
+// Detector classifies raw nanopore read prefixes against one target
+// genome. It is safe for concurrent use.
+type Detector struct {
+	name   string
+	ref    *pore.Reference
+	filter *sdtw.Filter
+	cfg    sdtw.IntConfig
+	tile   *hw.Tile
+}
+
+// NewDetector builds and programs a detector.
+func NewDetector(cfg DetectorConfig) (*Detector, error) {
+	seq, err := genome.FromString(cfg.Sequence)
+	if err != nil {
+		return nil, fmt.Errorf("squigglefilter: %w", err)
+	}
+	if len(seq) < 100 {
+		return nil, fmt.Errorf("squigglefilter: reference of %d bases is too short to filter against", len(seq))
+	}
+	g := &genome.Genome{Name: cfg.Name, Seq: seq}
+	ref := pore.DefaultModel().BuildReference(g)
+
+	icfg := sdtw.DefaultIntConfig()
+	switch {
+	case cfg.MatchBonus < 0:
+		icfg = sdtw.IntConfig{}
+	case cfg.MatchBonus > 0:
+		icfg.MatchBonus = cfg.MatchBonus
+	}
+	if cfg.BonusCap > 0 {
+		icfg.BonusCap = cfg.BonusCap
+	}
+
+	stages := cfg.Stages
+	if len(stages) == 0 {
+		stages = []Stage{{PrefixSamples: 2000, Threshold: 2000 * DefaultThresholdPerSample}}
+	}
+	internalStages := make([]sdtw.Stage, len(stages))
+	for i, s := range stages {
+		internalStages[i] = sdtw.Stage{PrefixSamples: s.PrefixSamples, Threshold: s.Threshold}
+	}
+	filter, err := sdtw.NewFilter(ref.Int8, icfg, internalStages)
+	if err != nil {
+		return nil, fmt.Errorf("squigglefilter: %w", err)
+	}
+	tile, err := hw.NewTile(ref.Int8, icfg)
+	if err != nil {
+		return nil, fmt.Errorf("squigglefilter: %w", err)
+	}
+	return &Detector{name: cfg.Name, ref: ref, filter: filter, cfg: icfg, tile: tile}, nil
+}
+
+// Name returns the programmed target's name.
+func (d *Detector) Name() string { return d.name }
+
+// ReferenceSamples returns the reference squiggle length (both strands) —
+// the R in the paper's ~2R-cycle classification latency.
+func (d *Detector) ReferenceSamples() int { return d.ref.Len() }
+
+// Verdict is the outcome of classifying one read prefix.
+type Verdict struct {
+	Decision Decision
+	// Cost is the sDTW alignment cost at the deciding stage (lower is
+	// more target-like; the match bonus can make true matches negative).
+	Cost int32
+	// SamplesUsed is how many raw samples were consumed before the
+	// decision — what Read Until turns into saved sequencing time.
+	SamplesUsed int
+}
+
+// Classify runs the software filter over a read's raw 10-bit samples.
+func (d *Detector) Classify(samples []int16) Verdict {
+	v := d.filter.Classify(samples)
+	return Verdict{Decision: Decision(v.Decision), Cost: v.Cost(), SamplesUsed: v.SamplesUsed}
+}
+
+// Cost computes the raw alignment cost of a prefix without thresholding —
+// useful for calibration and diagnostics.
+func (d *Detector) Cost(samples []int16, prefixSamples int) int32 {
+	return d.filter.CostAt(samples, prefixSamples).Cost
+}
+
+// HardwareVerdict additionally reports accelerator cycle statistics from
+// the cycle-accurate tile model (bit-identical to Classify's costs).
+type HardwareVerdict struct {
+	Verdict
+	Cycles    int64
+	DRAMBytes int64
+	Latency   time.Duration
+}
+
+// ClassifyHW classifies the first stage's prefix on the cycle-accurate
+// systolic-array model.
+func (d *Detector) ClassifyHW(samples []int16) HardwareVerdict {
+	stage := d.filter.Stages()[0]
+	n := stage.PrefixSamples
+	if n > len(samples) {
+		n = len(samples)
+	}
+	q, _ := hw.NewNormalizer().Process(samples[:n])
+	res, _, stats := d.tile.ClassifyThreshold(q, nil, stage.Threshold)
+	decision := Accept
+	if res.Cost > stage.Threshold {
+		decision = Reject
+	}
+	return HardwareVerdict{
+		Verdict: Verdict{
+			Decision:    decision,
+			Cost:        res.Cost,
+			SamplesUsed: n,
+		},
+		Cycles:    stats.Cycles,
+		DRAMBytes: stats.DRAMBytes,
+		Latency:   time.Duration(float64(stats.Cycles) / hw.ClockHz * float64(time.Second)),
+	}
+}
+
+// CalibrateThreshold sweeps thresholds over labelled raw reads and returns
+// the threshold maximizing F1 at the given prefix, plus the achieved
+// true/false positive rates. Use a few dozen known target and non-target
+// reads from a calibration run.
+func (d *Detector) CalibrateThreshold(targetReads, hostReads [][]int16, prefixSamples int) (threshold int32, tpr, fpr float64) {
+	var t, h []float64
+	for _, r := range targetReads {
+		t = append(t, float64(d.filter.CostAt(r, prefixSamples).Cost))
+	}
+	for _, r := range hostReads {
+		h = append(h, float64(d.filter.CostAt(r, prefixSamples).Cost))
+	}
+	best := metrics.BestF1(t, h)
+	return int32(best.Threshold), best.TPR, best.FPR
+}
+
+// Performance summarizes the accelerator's analytical envelope for this
+// detector's reference (paper Section 7.1).
+type Performance struct {
+	LatencyPerRead       time.Duration
+	TileSamplesPerSec    float64
+	DeviceSamplesPerSec  float64
+	SequencerHeadroom    float64 // vs the MinION's 2.05 M samples/s
+	AreaMM2, PowerW      float64
+	DRAMBandwidthPerTile float64
+}
+
+// Performance reports the hardware model's numbers at the default
+// 2,000-sample prefix.
+func (d *Detector) Performance() Performance {
+	const minionSamplesPerSec = 2.048e6
+	refLen := d.ref.Len()
+	return Performance{
+		LatencyPerRead:       hw.Latency(2000, refLen),
+		TileSamplesPerSec:    hw.TileThroughput(2000, refLen),
+		DeviceSamplesPerSec:  hw.DeviceThroughput(2000, refLen, hw.NumTiles),
+		SequencerHeadroom:    hw.ScalabilityHeadroom(2000, refLen, minionSamplesPerSec),
+		AreaMM2:              hw.ASICAreaMM2(hw.NumTiles),
+		PowerW:               hw.ASICPowerW(hw.NumTiles),
+		DRAMBandwidthPerTile: hw.MultiStageDRAMBandwidth(),
+	}
+}

@@ -1,0 +1,182 @@
+package squigglefilter
+
+import (
+	"math/rand"
+	"testing"
+
+	"squigglefilter/internal/genome"
+	"squigglefilter/internal/pore"
+	"squigglefilter/internal/squiggle"
+)
+
+func testDetector(t testing.TB, stages []Stage) (*Detector, *genome.Genome) {
+	t.Helper()
+	g := &genome.Genome{Name: "test-virus", Seq: genome.Random(rand.New(rand.NewSource(1)), 5000)}
+	det, err := NewDetector(DetectorConfig{Name: "test-virus", Sequence: g.Seq.String(), Stages: stages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det, g
+}
+
+func simReads(t testing.TB, target *genome.Genome, n int) (targets, hosts [][]int16) {
+	t.Helper()
+	host := &genome.Genome{Name: "host", Seq: genome.Random(rand.New(rand.NewSource(2)), 100000)}
+	sim, err := squiggle.NewSimulator(pore.DefaultModel(), squiggle.DefaultConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, hs := sim.BalancedPair(target, host, n, 900)
+	for i := range ts {
+		targets = append(targets, ts[i].Samples)
+		hosts = append(hosts, hs[i].Samples)
+	}
+	return targets, hosts
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(DetectorConfig{Sequence: "NOTDNA!"}); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+	if _, err := NewDetector(DetectorConfig{Sequence: "ACGT"}); err == nil {
+		t.Error("too-short reference accepted")
+	}
+	long := genome.Random(rand.New(rand.NewSource(4)), 60001)
+	if _, err := NewDetector(DetectorConfig{Sequence: long.String()}); err == nil {
+		t.Error("reference exceeding the 100KB hardware buffer accepted")
+	}
+}
+
+func TestDetectorEndToEnd(t *testing.T) {
+	det, g := testDetector(t, nil)
+	targets, hosts := simReads(t, g, 12)
+
+	threshold, tpr, fpr := det.CalibrateThreshold(targets, hosts, 2000)
+	if tpr < 0.75 || fpr > 0.2 {
+		t.Fatalf("calibration weak: threshold=%d tpr=%.2f fpr=%.2f", threshold, tpr, fpr)
+	}
+	det2, err := NewDetector(DetectorConfig{
+		Name:     "test-virus",
+		Sequence: g.Seq.String(),
+		Stages:   []Stage{{PrefixSamples: 2000, Threshold: threshold}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, r := range targets {
+		v := det2.Classify(r)
+		if v.Decision == Accept {
+			correct++
+		}
+		if v.SamplesUsed != 2000 {
+			t.Errorf("SamplesUsed = %d", v.SamplesUsed)
+		}
+	}
+	for _, r := range hosts {
+		if det2.Classify(r).Decision == Reject {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(targets)+len(hosts)); acc < 0.85 {
+		t.Errorf("end-to-end accuracy %.2f, want >= 0.85", acc)
+	}
+}
+
+func TestDetectorDefaultThresholdWorks(t *testing.T) {
+	det, g := testDetector(t, nil)
+	targets, hosts := simReads(t, g, 8)
+	var c int
+	for _, r := range targets {
+		if det.Classify(r).Decision == Accept {
+			c++
+		}
+	}
+	for _, r := range hosts {
+		if det.Classify(r).Decision == Reject {
+			c++
+		}
+	}
+	if acc := float64(c) / 16; acc < 0.8 {
+		t.Errorf("default-threshold accuracy %.2f", acc)
+	}
+}
+
+// The hardware path must agree with the software path bit-for-bit on the
+// deciding cost.
+func TestClassifyHWMatchesSoftware(t *testing.T) {
+	det, g := testDetector(t, nil)
+	targets, hosts := simReads(t, g, 6)
+	for _, r := range append(targets, hosts...) {
+		sw := det.Classify(r)
+		hv := det.ClassifyHW(r)
+		if hv.Cost != sw.Cost {
+			t.Fatalf("hw cost %d != sw cost %d", hv.Cost, sw.Cost)
+		}
+		if hv.Decision != sw.Decision {
+			t.Fatalf("hw decision %v != sw %v", hv.Decision, sw.Decision)
+		}
+		if hv.Cycles <= 0 || hv.Latency <= 0 {
+			t.Fatalf("missing hardware stats: %+v", hv)
+		}
+	}
+}
+
+func TestDetectorMultiStage(t *testing.T) {
+	det, g := testDetector(t, []Stage{
+		{PrefixSamples: 1000, Threshold: 1 << 29},
+		{PrefixSamples: 3000, Threshold: 3000 * DefaultThresholdPerSample},
+	})
+	targets, _ := simReads(t, g, 4)
+	v := det.Classify(targets[0])
+	if v.Decision != Accept {
+		t.Errorf("multi-stage target decision %v (cost %d)", v.Decision, v.Cost)
+	}
+	if v.SamplesUsed != 3000 {
+		t.Errorf("SamplesUsed = %d, want 3000", v.SamplesUsed)
+	}
+}
+
+func TestPerformanceEnvelope(t *testing.T) {
+	det, _ := testDetector(t, nil)
+	p := det.Performance()
+	if p.LatencyPerRead <= 0 || p.TileSamplesPerSec <= 0 {
+		t.Fatalf("degenerate performance: %+v", p)
+	}
+	if p.DeviceSamplesPerSec != 5*p.TileSamplesPerSec {
+		t.Error("device throughput should be 5 tiles")
+	}
+	if p.AreaMM2 < 13 || p.AreaMM2 > 13.5 || p.PowerW < 14 || p.PowerW > 14.5 {
+		t.Errorf("area/power off: %+v", p)
+	}
+	if det.ReferenceSamples() != 2*(5000-5) {
+		t.Errorf("reference samples %d", det.ReferenceSamples())
+	}
+	if det.Name() != "test-virus" {
+		t.Errorf("name %q", det.Name())
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Continue.String() != "continue" || Accept.String() != "accept" || Reject.String() != "reject" {
+		t.Error("decision names wrong")
+	}
+}
+
+func TestMatchBonusKnobs(t *testing.T) {
+	g := genome.Random(rand.New(rand.NewSource(5)), 2000)
+	noBonus, err := NewDetector(DetectorConfig{Sequence: g.String(), MatchBonus: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom, err := NewDetector(DetectorConfig{Sequence: g.String(), MatchBonus: 20, BonusCap: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noBonus.cfg.MatchBonus != 0 {
+		t.Error("MatchBonus -1 should disable the bonus")
+	}
+	if custom.cfg.MatchBonus != 20 || custom.cfg.BonusCap != 5 {
+		t.Errorf("custom bonus not applied: %+v", custom.cfg)
+	}
+}
