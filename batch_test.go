@@ -1,0 +1,169 @@
+package squigglefilter
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"squigglefilter/internal/genome"
+)
+
+// Regression for the pre-engine ClassifyHW, which silently evaluated only
+// the first stage and could never return Continue: a 2-stage schedule must
+// now produce identical decisions, costs, and consumed samples on the
+// software and hardware back-ends for every read.
+func TestClassifyHWMultiStageMatchesSoftware(t *testing.T) {
+	det, g := testDetector(t, []Stage{
+		{PrefixSamples: 1000, Threshold: 1000 * (DefaultThresholdPerSample + 1)},
+		{PrefixSamples: 3000, Threshold: 3000 * DefaultThresholdPerSample},
+	})
+	targets, hosts := simReads(t, g, 6)
+	sawSecondStage := false
+	for _, r := range append(targets, hosts...) {
+		sw := det.Classify(r)
+		hv := det.ClassifyHW(r)
+		if hv.Decision != sw.Decision || hv.Cost != sw.Cost || hv.SamplesUsed != sw.SamplesUsed {
+			t.Fatalf("hw {%v cost=%d used=%d} != sw {%v cost=%d used=%d}",
+				hv.Decision, hv.Cost, hv.SamplesUsed, sw.Decision, sw.Cost, sw.SamplesUsed)
+		}
+		if hv.SamplesUsed > 1000 {
+			sawSecondStage = true
+			if hv.DRAMBytes == 0 {
+				t.Error("second-stage hardware decision should report DRAM row traffic")
+			}
+		}
+	}
+	if !sawSecondStage {
+		t.Error("no read exercised the second stage; schedule too permissive for a regression test")
+	}
+}
+
+// The GPU baseline back-end must agree with the software path bit-for-bit
+// and report its modeled kernel latency.
+func TestClassifyGPUMatchesSoftware(t *testing.T) {
+	det, g := testDetector(t, nil)
+	targets, hosts := simReads(t, g, 4)
+	for _, r := range append(targets, hosts...) {
+		sw := det.Classify(r)
+		gv := det.ClassifyGPU(r)
+		if gv.Decision != sw.Decision || gv.Cost != sw.Cost {
+			t.Fatalf("gpu {%v %d} != sw {%v %d}", gv.Decision, gv.Cost, sw.Decision, sw.Cost)
+		}
+		if gv.KernelLatency <= 0 {
+			t.Fatalf("missing modeled GPU latency: %+v", gv)
+		}
+	}
+}
+
+// ClassifyBatch must return the serial verdicts in input order.
+func TestClassifyBatchMatchesSerial(t *testing.T) {
+	det, g := testDetector(t, nil)
+	targets, hosts := simReads(t, g, 8)
+	reads := append(targets, hosts...)
+
+	serial := make([]Verdict, len(reads))
+	for i, r := range reads {
+		serial[i] = det.Classify(r)
+	}
+	batch := det.ClassifyBatch(reads)
+	if len(batch) != len(reads) {
+		t.Fatalf("batch returned %d verdicts for %d reads", len(batch), len(reads))
+	}
+	for i := range reads {
+		if batch[i] != serial[i] {
+			t.Fatalf("read %d: batch %+v != serial %+v", i, batch[i], serial[i])
+		}
+	}
+	if det.Workers() <= 0 {
+		t.Errorf("workers = %d", det.Workers())
+	}
+}
+
+// Satellite concurrency check: one Detector and one Panel shared across 8
+// goroutines classifying distinct reads must reproduce the serial
+// baseline. Run with -race in CI.
+func TestConcurrentDetectorAndPanel(t *testing.T) {
+	det, g := testDetector(t, nil)
+	targets, hosts := simReads(t, g, 4)
+	reads := append(targets, hosts...)
+
+	panel, err := NewPanel([]DetectorConfig{
+		{Name: "test-virus", Sequence: g.Seq.String(), Workers: 2},
+		{Name: "decoy", Sequence: g.Seq.String()[:len(g.Seq.String())/2], Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantDet := make([]Verdict, len(reads))
+	wantPanel := make([]PanelVerdict, len(reads))
+	for i, r := range reads {
+		wantDet[i] = det.Classify(r)
+		wantPanel[i] = panel.Classify(r)
+	}
+
+	var wg sync.WaitGroup
+	gotDet := make([]Verdict, len(reads))
+	gotHW := make([]HardwareVerdict, len(reads))
+	gotPanel := make([]PanelVerdict, len(reads))
+	for i := range reads {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gotDet[i] = det.Classify(reads[i])
+			gotHW[i] = det.ClassifyHW(reads[i])
+			gotPanel[i] = panel.Classify(reads[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range reads {
+		if gotDet[i] != wantDet[i] {
+			t.Errorf("read %d: concurrent verdict %+v != serial %+v", i, gotDet[i], wantDet[i])
+		}
+		if gotHW[i].Verdict != wantDet[i] {
+			t.Errorf("read %d: concurrent hw verdict %+v != serial sw %+v", i, gotHW[i].Verdict, wantDet[i])
+		}
+		if gotPanel[i].Best != wantPanel[i].Best || gotPanel[i].Target != wantPanel[i].Target {
+			t.Errorf("read %d: concurrent panel best %q != serial %q", i, gotPanel[i].Target, wantPanel[i].Target)
+		}
+	}
+}
+
+func TestPanelPicksRightTarget(t *testing.T) {
+	_, g := testDetector(t, nil)
+	targets, hosts := simReads(t, g, 6)
+
+	// The first target is the genome the reads were simulated from; the
+	// second is an unrelated decoy of the same length.
+	decoy := genome.Random(rand.New(rand.NewSource(99)), 5000)
+	panel, err := NewPanel([]DetectorConfig{
+		{Name: "virus", Sequence: g.Seq.String()},
+		{Name: "decoy", Sequence: decoy.String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := panel.ClassifyBatch(targets)
+	hits := 0
+	for _, v := range verdicts {
+		if v.Target == "virus" {
+			hits++
+		}
+		if len(v.Verdicts) != 2 {
+			t.Fatalf("per-target verdicts = %d", len(v.Verdicts))
+		}
+	}
+	if hits < (len(targets)+1)/2 {
+		t.Errorf("panel attributed only %d/%d viral reads to the right target", hits, len(targets))
+	}
+	rejects := 0
+	for _, v := range panel.ClassifyBatch(hosts) {
+		if v.Best == -1 {
+			rejects++
+		}
+	}
+	if rejects < (len(hosts)+1)/2 {
+		t.Errorf("panel accepted %d/%d host reads", len(hosts)-rejects, len(hosts))
+	}
+}

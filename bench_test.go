@@ -16,9 +16,11 @@ package squigglefilter
 
 import (
 	"io"
+	"math/rand"
 	"testing"
 
 	"squigglefilter/internal/experiments"
+	"squigglefilter/internal/genome"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -78,3 +80,39 @@ func BenchmarkDetectorClassifyHW(b *testing.B) {
 		det.ClassifyHW(samples)
 	}
 }
+
+// benchBatch reports classified raw samples/sec for a worker-pool batch —
+// the throughput trajectory metric for the engine pipeline. workers 1 is
+// the serial baseline ClassifyBatch speedups are measured against.
+func benchBatch(b *testing.B, workers int) {
+	b.Helper()
+	g := &genome.Genome{Name: "bench-virus", Seq: genome.Random(rand.New(rand.NewSource(1)), 5000)}
+	det, err := NewDetector(DetectorConfig{Name: g.Name, Sequence: g.Seq.String(), Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets, hosts := simReads(b, g, 16)
+	reads := append(targets, hosts...)
+	var totalSamples int64
+	for _, r := range reads {
+		n := len(r)
+		if n > 2000 {
+			n = 2000 // the default single stage consumes at most 2,000
+		}
+		totalSamples += int64(n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.ClassifyBatch(reads)
+	}
+	b.StopTimer()
+	samplesPerSec := float64(totalSamples) * float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(samplesPerSec, "samples/sec")
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkClassifyBatch is the engine's headline throughput benchmark at
+// 8 workers; compare against BenchmarkClassifyBatchSerial for the speedup
+// (requires ≥ 8 hardware threads to show its full effect).
+func BenchmarkClassifyBatch(b *testing.B)       { benchBatch(b, 8) }
+func BenchmarkClassifyBatchSerial(b *testing.B) { benchBatch(b, 1) }

@@ -1,10 +1,15 @@
-// Command sfrun classifies a SQGL dataset against a reference with the
-// SquiggleFilter and reports the confusion matrix.
+// Command sfrun classifies a SQGL dataset against a reference on any of
+// the unified classification back-ends and reports the confusion matrix
+// plus throughput.
 //
 //	sfrun -data sample.sqgl -ref ref.txt [-threshold N] [-prefix 2000]
+//	      [-backend sw|hw|gpu] [-workers N]
 //
 // Without -threshold, the threshold is calibrated on the dataset's ground
-// truth (best F1).
+// truth (best F1). The sw back-end shards the batch across -workers
+// software instances; hw and gpu run the cycle-accurate tile and the
+// calibrated GPU baseline, reporting their modeled per-read latency
+// (verdicts are bit-identical across back-ends).
 package main
 
 import (
@@ -12,7 +17,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"squigglefilter"
 	"squigglefilter/internal/metrics"
@@ -24,6 +31,8 @@ func main() {
 	refPath := flag.String("ref", "", "reference sequence file (ACGT text)")
 	threshold := flag.Int("threshold", 0, "ejection threshold (0 = calibrate on ground truth)")
 	prefix := flag.Int("prefix", 2000, "prefix samples per decision")
+	backend := flag.String("backend", "sw", "classification backend: sw, hw, or gpu")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the sw backend's batch path")
 	flag.Parse()
 	if *dataPath == "" || *refPath == "" {
 		flag.Usage()
@@ -47,6 +56,7 @@ func main() {
 	det, err := squigglefilter.NewDetector(squigglefilter.DetectorConfig{
 		Name:     "target",
 		Sequence: strings.TrimSpace(string(refText)),
+		Workers:  *workers,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -71,14 +81,60 @@ func main() {
 		Name:     "target",
 		Sequence: strings.TrimSpace(string(refText)),
 		Stages:   []squigglefilter.Stage{{PrefixSamples: *prefix, Threshold: th}},
+		Workers:  *workers,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	var cm metrics.Confusion
-	for _, r := range reads {
-		v := det2.Classify(r.Samples)
-		cm.Add(r.Target, v.Decision == squigglefilter.Accept)
+
+	if len(reads) == 0 {
+		log.Fatalf("dataset %s contains no reads", *dataPath)
 	}
-	fmt.Printf("classified %d reads at prefix %d: %s\n", len(reads), *prefix, cm)
+	samples := make([][]int16, len(reads))
+	for i, r := range reads {
+		samples[i] = r.Samples
+	}
+
+	var cm metrics.Confusion
+	var consumed int64
+	poolSize := 1 // hw and gpu classify serially; only sw shards the batch
+	start := time.Now()
+	switch *backend {
+	case "sw":
+		poolSize = det2.Workers()
+		verdicts := det2.ClassifyBatch(samples)
+		for i, v := range verdicts {
+			cm.Add(reads[i].Target, v.Decision == squigglefilter.Accept)
+			consumed += int64(v.SamplesUsed)
+		}
+	case "hw":
+		var cycles, dram int64
+		var latency time.Duration
+		for i, s := range samples {
+			v := det2.ClassifyHW(s)
+			cm.Add(reads[i].Target, v.Decision == squigglefilter.Accept)
+			consumed += int64(v.SamplesUsed)
+			cycles += v.Cycles
+			dram += v.DRAMBytes
+			latency += v.Latency
+		}
+		fmt.Printf("hardware model: %d cycles, %d DRAM bytes, mean latency %v/read\n",
+			cycles, dram, latency/time.Duration(len(samples)))
+	case "gpu":
+		var latency time.Duration
+		for i, s := range samples {
+			v := det2.ClassifyGPU(s)
+			cm.Add(reads[i].Target, v.Decision == squigglefilter.Accept)
+			consumed += int64(v.SamplesUsed)
+			latency += v.KernelLatency
+		}
+		fmt.Printf("gpu model: mean kernel latency %v/read\n", latency/time.Duration(len(samples)))
+	default:
+		log.Fatalf("unknown backend %q (want sw, hw, or gpu)", *backend)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("classified %d reads at prefix %d on %s backend: %s\n", len(reads), *prefix, *backend, cm)
+	fmt.Printf("wall clock %v (%.0f samples/sec, %d workers)\n",
+		elapsed.Round(time.Millisecond), float64(consumed)/elapsed.Seconds(), poolSize)
 }

@@ -47,18 +47,25 @@ func main() {
 		log.Fatal(err)
 	}
 
+	samplesOf := func(reads []*squiggle.Read) [][]int16 {
+		out := make([][]int16, len(reads))
+		for i, r := range reads {
+			out[i] = r.Samples
+		}
+		return out
+	}
 	evaluate := func(name string, det *squigglefilter.Detector) {
 		correct, samplesUsed := 0, 0
-		for _, r := range targets {
-			v := det.Classify(r.Samples)
+		// The engine pipeline classifies each class as one concurrent
+		// batch, sharded across the detector's worker pool.
+		for _, v := range det.ClassifyBatch(samplesOf(targets)) {
 			if v.Decision == squigglefilter.Accept {
 				correct++
 			}
 			samplesUsed += v.SamplesUsed
 		}
 		ejectedAt := map[int]int{}
-		for _, r := range hosts {
-			v := det.Classify(r.Samples)
+		for _, v := range det.ClassifyBatch(samplesOf(hosts)) {
 			if v.Decision == squigglefilter.Reject {
 				correct++
 				ejectedAt[v.SamplesUsed]++

@@ -47,9 +47,18 @@ func main() {
 			read.name, v.Decision, v.Cost, v.SamplesUsed)
 	}
 
-	// The same decision on the cycle-accurate hardware model.
+	// The same decision on the other back-ends: the cycle-accurate
+	// hardware model and the calibrated GPU baseline report identical
+	// verdicts with their own performance accounting.
 	hv := det.ClassifyHW(viralRead.Samples)
 	fmt.Printf("hardware:    %-8s in %d cycles = %v\n", hv.Decision, hv.Cycles, hv.Latency)
+	gv := det.ClassifyGPU(viralRead.Samples)
+	fmt.Printf("gpu model:   %-8s kernel latency %v (Titan XP)\n", gv.Decision, gv.KernelLatency)
+
+	// Batches shard across a worker pool, one software "tile" per worker.
+	batch := det.ClassifyBatch([][]int16{viralRead.Samples, hostRead.Samples})
+	fmt.Printf("batch:       %s + %s across %d workers\n",
+		batch[0].Decision, batch[1].Decision, det.Workers())
 
 	p := det.Performance()
 	fmt.Printf("\naccelerator envelope for %q (%d reference samples):\n",

@@ -6,7 +6,9 @@ package main
 
 import (
 	"fmt"
+	"time"
 
+	"squigglefilter/internal/engine"
 	"squigglefilter/internal/genome"
 	"squigglefilter/internal/gpu"
 	"squigglefilter/internal/hw"
@@ -23,18 +25,20 @@ func main() {
 	fmt.Printf("%-10s %14s %16s %16s\n", "sequencer", "no filter", "GPU Read Until", "SF Read Until")
 	fmt.Printf("%-10s %14s %16s %16s\n", "scale", "runtime", "runtime (pores%)", "runtime (pores%)")
 
-	op := readuntil.ClassifierModel{TPR: 0.97, FPR: 0.03, PrefixBases: 200}
+	// Both operating points come from readuntil.OperatingPoint — the
+	// bridge from a back-end's engine.Stats to the runtime model.
+	const tpr, fpr, prefixSamples = 0.97, 0.03, 2000
 	for _, scale := range []float64{1, 5, 16, 50, 100, 114} {
 		p := readuntil.DefaultParams(genome.LambdaPhageLen, 0.01)
 		p.Channels = int(512 * scale)
 		seqRate := gpu.MinIONSamplesPerSec * scale
 
-		gpuOp := op
-		gpuOp.LatencySec = titan.GuppyLiteLatency
-		gpuOp.PoreFraction = gpu.ReadUntilPoreFraction(titan.GuppyLiteReadUntil(), seqRate)
-		sfOp := op
-		sfOp.LatencySec = hw.Latency(2000, refLen).Seconds()
-		sfOp.PoreFraction = gpu.ReadUntilPoreFraction(sf, seqRate)
+		gpuOp := readuntil.OperatingPoint("GPU", tpr, fpr, prefixSamples,
+			engine.Stats{Latency: time.Duration(titan.GuppyLiteLatency * float64(time.Second))},
+			titan.GuppyLiteReadUntil(), seqRate)
+		sfOp := readuntil.OperatingPoint("SquiggleFilter", tpr, fpr, prefixSamples,
+			engine.Stats{Latency: hw.Latency(2000, refLen)},
+			sf, seqRate)
 
 		fmt.Printf("%-10.0f %13.0fs %10.0fs (%2.0f%%) %10.0fs (%3.0f%%)\n",
 			scale, p.RuntimeNoRU(),

@@ -50,12 +50,17 @@ func main() {
 	spec := squiggle.DefaultSampleSpec(strain, host, 0.3, 120)
 	reads := sim.GenerateSample(spec)
 
-	// Read Until: classify every read's raw prefix; only kept reads are
-	// sequenced in full and basecalled.
+	// Read Until: classify every read's raw prefix as one concurrent
+	// batch (the engine shards reads across its worker pool); only kept
+	// reads are sequenced in full and basecalled.
+	samples := make([][]int16, len(reads))
+	for i, r := range reads {
+		samples[i] = r.Samples
+	}
 	var kept []*squiggle.Read
 	ejectedSamples, keptTP, keptFP := 0, 0, 0
-	for _, r := range reads {
-		v := det.Classify(r.Samples)
+	for i, v := range det.ClassifyBatch(samples) {
+		r := reads[i]
 		if v.Decision == squigglefilter.Reject {
 			ejectedSamples += len(r.Samples) - v.SamplesUsed
 			continue

@@ -1,0 +1,3 @@
+module squigglefilter
+
+go 1.24

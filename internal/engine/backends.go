@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"squigglefilter/internal/gpu"
+	"squigglefilter/internal/hw"
+	"squigglefilter/internal/sdtw"
+)
+
+// NewSoftware returns the pure-software back-end: the integer sDTW engine
+// of internal/sdtw with no performance model. It is safe for concurrent
+// use.
+func NewSoftware(ref []int8, cfg sdtw.IntConfig) (Backend, error) {
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("engine: empty reference")
+	}
+	return newStager(&swKernel{ref: ref, cfg: cfg}), nil
+}
+
+type swKernel struct {
+	ref []int8
+	cfg sdtw.IntConfig
+}
+
+func (k *swKernel) name() string { return "sw" }
+func (k *swKernel) refLen() int  { return len(k.ref) }
+
+func (k *swKernel) extend(row *sdtw.Row, chunk []int8, _ *Stats) sdtw.IntResult {
+	return sdtw.Extend(row, chunk, k.ref, k.cfg)
+}
+
+// NewHardware returns the cycle-accurate systolic-tile back-end. Costs and
+// decisions are bit-identical to the software back-end; Stats additionally
+// reports array cycles (including the normalizer's two passes per chunk),
+// multi-stage DRAM row traffic, and the latency at the synthesized clock.
+//
+// One hardware back-end models one tile and classifies one read at a time —
+// it is NOT safe for concurrent use. Run several instances through a
+// Pipeline to model the device's independent tiles.
+func NewHardware(ref []int8, cfg sdtw.IntConfig) (Backend, error) {
+	tile, err := hw.NewTile(ref, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newStager(&hwKernel{tile: tile}), nil
+}
+
+type hwKernel struct {
+	tile *hw.Tile
+}
+
+func (k *hwKernel) name() string { return "hw" }
+func (k *hwKernel) refLen() int  { return k.tile.RefLen() }
+
+func (k *hwKernel) extend(row *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult {
+	res, cs := k.tile.ExtendRow(chunk, row, 0, false)
+	// The normalizer front-end processes each chunk before the array sees
+	// it; its structural model (hw.Normalizer) owns the cycle cost.
+	st.Cycles += cs.Cycles + hw.NormCycles(len(chunk))
+	st.DRAMBytes += cs.DRAMBytes
+	st.Latency = time.Duration(float64(st.Cycles) / hw.ClockHz * float64(time.Second))
+	return res
+}
+
+// NewGPU returns the calibrated GPU-baseline back-end: it runs the same
+// integer sDTW arithmetic as the software back-end (verdicts are
+// bit-identical) and models the kernel latency the device would take from
+// its measured Table 3 envelope. It is safe for concurrent use.
+func NewGPU(ref []int8, cfg sdtw.IntConfig, dev gpu.Device) (Backend, error) {
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("engine: empty reference")
+	}
+	return newStager(&gpuKernel{ref: ref, cfg: cfg, dev: dev}), nil
+}
+
+type gpuKernel struct {
+	ref []int8
+	cfg sdtw.IntConfig
+	dev gpu.Device
+}
+
+func (k *gpuKernel) name() string { return "gpu" }
+func (k *gpuKernel) refLen() int  { return len(k.ref) }
+
+func (k *gpuKernel) extend(row *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult {
+	res := sdtw.Extend(row, chunk, k.ref, k.cfg)
+	ops := sdtw.TotalOps(len(chunk), len(k.ref))
+	st.Latency += time.Duration(k.dev.SDTWSeconds(ops) * float64(time.Second))
+	return res
+}

@@ -1,0 +1,153 @@
+// Package engine unifies SquiggleFilter's classification back-ends behind
+// one Backend interface and schedules reads across them concurrently.
+//
+// Three back-ends implement the interface:
+//
+//   - the pure-software integer sDTW filter (NewSoftware, internal/sdtw);
+//   - the cycle-accurate systolic tile (NewHardware, internal/hw), which
+//     additionally reports cycle and DRAM statistics;
+//   - the calibrated GPU baseline (NewGPU, internal/gpu), which reports the
+//     modeled kernel latency of the paper's Table 3 devices.
+//
+// All three share one staging policy — per-stage chunk normalization
+// (internal/normalize) followed by a DP-row extension — implemented once in
+// this package, so their costs and decisions are bit-identical across every
+// stage of a multi-stage schedule by construction. Only the per-chunk DP
+// kernel (and its performance accounting) differs per back-end.
+//
+// On top of Backend, Pipeline shards reads across a pool of back-end
+// instances — the software analogue of the accelerator's independent tiles
+// — and Panel classifies one read against several reference genomes at
+// once, picking the best-matching target.
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"squigglefilter/internal/normalize"
+	"squigglefilter/internal/sdtw"
+)
+
+// Stats is a back-end's optional performance accounting for one
+// classification. The software back-end reports zeroes; the hardware
+// back-end reports systolic-array cycles, multi-stage DRAM traffic, and the
+// latency those cycles take at the synthesized clock; the GPU back-end
+// reports the modeled kernel latency only.
+type Stats struct {
+	Cycles    int64
+	DRAMBytes int64
+	Latency   time.Duration
+}
+
+// Result is the outcome of classifying one read prefix on a back-end.
+type Result struct {
+	// Decision is Accept, Reject, or Continue (read ended before the first
+	// stage boundary).
+	Decision sdtw.Decision
+	// Cost and EndPos describe the alignment at the deciding stage.
+	Cost   int32
+	EndPos int
+	// SamplesUsed is how many raw samples were consumed before deciding.
+	SamplesUsed int
+	// PerStage records every stage evaluated.
+	PerStage []sdtw.StageResult
+	// Stats is the back-end's performance accounting.
+	Stats Stats
+}
+
+// Backend classifies staged read prefixes against the reference it was
+// programmed with. A back-end is programmed once (reference + IntConfig)
+// and classifies many reads; whether one instance may be shared between
+// goroutines is implementation-specific (the software and GPU back-ends
+// are safe for concurrent use; the hardware tile is not — Pipeline grants
+// callers exclusive instances either way).
+type Backend interface {
+	// Name identifies the back-end kind ("sw", "hw", "gpu").
+	Name() string
+	// RefLen returns the programmed reference length in samples.
+	RefLen() int
+	// Classify runs the staged filter over a read's raw 10-bit samples.
+	Classify(samples []int16, stages []sdtw.Stage) Result
+}
+
+// ValidateStages checks a stage schedule: non-empty, positive and strictly
+// increasing prefix lengths (delegates to the single validator in sdtw).
+func ValidateStages(stages []sdtw.Stage) error {
+	return sdtw.ValidateStages(stages)
+}
+
+// kernel is the per-chunk DP extension a back-end contributes. Everything
+// else — stage chunking, normalization, thresholds, decisions — is shared
+// in stager, which is what makes verdicts bit-identical across back-ends.
+type kernel interface {
+	name() string
+	refLen() int
+	// extend consumes one normalized chunk, updating row in place, and
+	// returns the best cost over the row; performance accounting
+	// accumulates into st.
+	extend(row *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult
+}
+
+// stager implements Backend over a kernel: the single normalization and
+// staging policy, with sync.Pool-reused DP rows so the hot loop does not
+// allocate per read.
+type stager struct {
+	k    kernel
+	pool sync.Pool
+}
+
+func newStager(k kernel) *stager {
+	s := &stager{k: k}
+	s.pool.New = func() any { return sdtw.NewRow(k.refLen()) }
+	return s
+}
+
+func (s *stager) Name() string { return s.k.name() }
+func (s *stager) RefLen() int  { return s.k.refLen() }
+
+// Classify runs the staged filter: each stage normalizes only the newly
+// arrived chunk as one window (the hardware normalizer works on fixed
+// windows as samples stream in) and extends the saved DP row, so no DP work
+// is repeated across stages. A read shorter than the first stage boundary
+// is decided with whatever signal exists.
+func (s *stager) Classify(samples []int16, stages []sdtw.Stage) Result {
+	row := s.pool.Get().(*sdtw.Row)
+	row.Reset()
+	defer s.pool.Put(row)
+
+	res := Result{Decision: sdtw.Continue, EndPos: -1}
+	consumed := 0
+	for si, stage := range stages {
+		end := stage.PrefixSamples
+		last := si == len(stages)-1
+		if end >= len(samples) {
+			end = len(samples)
+			last = true // read exhausted: this stage is final
+		}
+		if end <= consumed {
+			break
+		}
+		chunk := normalize.ApplyInt8(samples[consumed:end])
+		r := s.k.extend(row, chunk, &res.Stats)
+		consumed = end
+		sr := sdtw.StageResult{Stage: si, Samples: consumed, Cost: r.Cost, EndPos: r.EndPos}
+		switch {
+		case r.Cost > stage.Threshold:
+			sr.Decision = sdtw.Reject
+		case last:
+			sr.Decision = sdtw.Accept
+		default:
+			sr.Decision = sdtw.Continue
+		}
+		res.PerStage = append(res.PerStage, sr)
+		res.Decision = sr.Decision
+		res.Cost = r.Cost
+		res.EndPos = r.EndPos
+		res.SamplesUsed = consumed
+		if sr.Decision != sdtw.Continue {
+			break
+		}
+	}
+	return res
+}

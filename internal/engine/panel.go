@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"squigglefilter/internal/sdtw"
+)
+
+// Target is one reference genome in a Panel: a name plus the pipeline
+// programmed with that target's reference and stage schedule.
+type Target struct {
+	Name     string
+	Pipeline *Pipeline
+}
+
+// Panel classifies one read against several targets at once — the
+// multi-virus differential test the paper's single-target detector extends
+// to naturally. It is safe for concurrent use.
+type Panel struct {
+	targets []Target
+}
+
+// NewPanel builds a panel over at least one target.
+func NewPanel(targets []Target) (*Panel, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("engine: panel needs at least one target")
+	}
+	for i, t := range targets {
+		if t.Pipeline == nil {
+			return nil, fmt.Errorf("engine: panel target %d (%q) has no pipeline", i, t.Name)
+		}
+	}
+	return &Panel{targets: targets}, nil
+}
+
+// Targets returns the panel's target names in order.
+func (p *Panel) Targets() []string {
+	out := make([]string, len(p.targets))
+	for i, t := range p.targets {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// PanelResult is the outcome of classifying one read against every target.
+type PanelResult struct {
+	// Best indexes the accepting target with the lowest per-sample cost,
+	// or -1 when every target rejected the read (schedules may use
+	// different prefix lengths, so costs are compared per sample consumed).
+	Best int
+	// PerTarget holds each target's result, in panel order.
+	PerTarget []Result
+}
+
+// Classify runs one read against every target concurrently.
+func (p *Panel) Classify(samples []int16) PanelResult {
+	pr := PanelResult{PerTarget: make([]Result, len(p.targets))}
+	var wg sync.WaitGroup
+	for ti := range p.targets {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			pr.PerTarget[ti] = p.targets[ti].Pipeline.Classify(samples)
+		}(ti)
+	}
+	wg.Wait()
+	pr.Best = bestTarget(pr.PerTarget)
+	return pr
+}
+
+// ClassifyBatch runs a batch of reads against every target, each target
+// using its own pipeline's worker pool, returning per-read results in
+// input order.
+func (p *Panel) ClassifyBatch(reads [][]int16) []PanelResult {
+	per := make([][]Result, len(p.targets))
+	var wg sync.WaitGroup
+	for ti := range p.targets {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			per[ti] = p.targets[ti].Pipeline.ClassifyBatch(reads)
+		}(ti)
+	}
+	wg.Wait()
+	out := make([]PanelResult, len(reads))
+	for i := range reads {
+		pr := PanelResult{PerTarget: make([]Result, len(p.targets))}
+		for ti := range p.targets {
+			pr.PerTarget[ti] = per[ti][i]
+		}
+		pr.Best = bestTarget(pr.PerTarget)
+		out[i] = pr
+	}
+	return out
+}
+
+// bestTarget picks the accepting result with the lowest cost per sample
+// consumed; ties keep the earliest target.
+func bestTarget(results []Result) int {
+	best, bestRate := -1, 0.0
+	for i, r := range results {
+		if r.Decision != sdtw.Accept {
+			continue
+		}
+		rate := float64(r.Cost) / float64(r.SamplesUsed)
+		if best == -1 || rate < bestRate {
+			best, bestRate = i, rate
+		}
+	}
+	return best
+}

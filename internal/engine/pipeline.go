@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"squigglefilter/internal/sdtw"
+)
+
+// Pipeline shards reads across a pool of back-end instances — the software
+// analogue of the accelerator's NumTiles independent tiles. It is safe for
+// concurrent use even when the underlying back-end is not: every
+// classification borrows an instance exclusively for its duration.
+type Pipeline struct {
+	stages []sdtw.Stage
+	insts  chan Backend
+	n      int
+	refLen int
+}
+
+// NewPipeline builds instances back-ends via factory and programs them all
+// with the same stage schedule. instances <= 0 means 1.
+func NewPipeline(factory func() (Backend, error), instances int, stages []sdtw.Stage) (*Pipeline, error) {
+	if err := ValidateStages(stages); err != nil {
+		return nil, err
+	}
+	if instances <= 0 {
+		instances = 1
+	}
+	insts := make(chan Backend, instances)
+	refLen := 0
+	for i := 0; i < instances; i++ {
+		b, err := factory()
+		if err != nil {
+			return nil, fmt.Errorf("engine: building backend instance %d: %w", i, err)
+		}
+		if i == 0 {
+			refLen = b.RefLen()
+		} else if b.RefLen() != refLen {
+			return nil, fmt.Errorf("engine: backend instance %d has reference length %d, want %d", i, b.RefLen(), refLen)
+		}
+		insts <- b
+	}
+	return &Pipeline{stages: stages, insts: insts, n: instances, refLen: refLen}, nil
+}
+
+// Workers returns the number of back-end instances.
+func (p *Pipeline) Workers() int { return p.n }
+
+// RefLen returns the programmed reference length in samples.
+func (p *Pipeline) RefLen() int { return p.refLen }
+
+// Stages returns a copy of the stage schedule.
+func (p *Pipeline) Stages() []sdtw.Stage {
+	out := make([]sdtw.Stage, len(p.stages))
+	copy(out, p.stages)
+	return out
+}
+
+// Classify classifies one read on a borrowed instance.
+func (p *Pipeline) Classify(samples []int16) Result {
+	b := <-p.insts
+	res := b.Classify(samples, p.stages)
+	p.insts <- b
+	return res
+}
+
+// ClassifyBatch classifies a batch of reads concurrently across the
+// instance pool, returning results in input order.
+func (p *Pipeline) ClassifyBatch(reads [][]int16) []Result {
+	out := make([]Result, len(reads))
+	workers := p.n
+	if workers > len(reads) {
+		workers = len(reads)
+	}
+	if workers <= 1 {
+		b := <-p.insts
+		for i, r := range reads {
+			out[i] = b.Classify(r, p.stages)
+		}
+		p.insts <- b
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := <-p.insts
+			defer func() { p.insts <- b }()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reads) {
+					return
+				}
+				out[i] = b.Classify(reads[i], p.stages)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Job tags a read for streaming classification.
+type Job struct {
+	ID      int
+	Samples []int16
+}
+
+// StreamResult pairs a job's ID with its classification.
+type StreamResult struct {
+	ID int
+	Result
+}
+
+// ClassifyStream consumes jobs from in until it closes, classifying them
+// across the instance pool and emitting results on out in completion order
+// (not input order — use Job.ID to correlate). It closes out when done and
+// blocks until then; run it in its own goroutine to overlap with the
+// producer, as a sequencer's Read Until loop would.
+func (p *Pipeline) ClassifyStream(in <-chan Job, out chan<- StreamResult) {
+	var wg sync.WaitGroup
+	for w := 0; w < p.n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := <-p.insts
+			defer func() { p.insts <- b }()
+			for j := range in {
+				out <- StreamResult{ID: j.ID, Result: b.Classify(j.Samples, p.stages)}
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+}

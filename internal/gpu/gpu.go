@@ -82,6 +82,22 @@ func (d Device) GuppyReadUntil() float64 {
 	return d.GuppyOffline() / GuppyReadUntilPenalty
 }
 
+// SDTWOpsPerSec estimates the arithmetic throughput the device sustains on
+// a small-batch Read Until kernel, calibrated from the measured Guppy-lite
+// envelope: the offline samples/s rate corresponds to GuppyLiteOpsPerChunk
+// operations per 2,000-sample chunk, degraded by the online small-batch
+// penalty. It is the conversion factor the engine's GPU backend uses to
+// turn sDTW operation counts into modeled kernel latency.
+func (d Device) SDTWOpsPerSec() float64 {
+	return d.GuppyLiteOffline / 2000 * GuppyLiteOpsPerChunk / GuppyLiteReadUntilPenalty
+}
+
+// SDTWSeconds models the wall-clock latency of running a kernel of the
+// given arithmetic operation count (sdtw.TotalOps) on this device.
+func (d Device) SDTWSeconds(ops int64) float64 {
+	return float64(ops) / d.SDTWOpsPerSec()
+}
+
 // MinION / GridION sequencing output (paper Sections 1, 7.2).
 const (
 	// MinIONChannels is the number of concurrently sequencing pores.

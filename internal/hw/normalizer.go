@@ -36,6 +36,12 @@ type NormStats struct {
 	Cycles int64
 }
 
+// NormCycles is the normalizer front-end's cycle cost for a window of n
+// samples: the two streaming passes of Figure 15. The engine's hardware
+// back-end charges this per stage chunk; Window's accounting below must
+// agree.
+func NormCycles(n int) int64 { return 2 * int64(n) }
+
 // Window processes one window of raw samples (at most WindowSize; a read's
 // final partial window is allowed) and returns the normalized 8-bit
 // samples.
@@ -73,7 +79,7 @@ func (n *Normalizer) Window(samples []int16) ([]int8, NormStats) {
 	for i, v := range samples {
 		out[i] = normalize.QuantizeInt(v, n.Mean, n.MAD)
 	}
-	return out, NormStats{Cycles: 2 * count}
+	return out, NormStats{Cycles: NormCycles(len(samples))}
 }
 
 // Process splits samples into windows and normalizes each independently,

@@ -119,10 +119,26 @@ func (t *Tile) classify(query []int8, boundary *sdtw.Row, threshold int32, useTh
 		}
 		row = boundary.Clone()
 	}
+	res, stats := t.ExtendRow(query, row, threshold, useThreshold)
+	return res, row, stats
+}
+
+// ExtendRow runs the systolic array over a normalized query chunk,
+// updating row in place — the multi-stage resume path without the
+// boundary-clone allocation of Classify. A row carrying samples from a
+// previous stage is charged the DRAM read-back of the stored state, and the
+// final row of a non-terminal stage is charged the write-out by the next
+// call's read-back plus the explicit write below.
+func (t *Tile) ExtendRow(query []int8, row *sdtw.Row, threshold int32, useThreshold bool) (sdtw.IntResult, CycleStats) {
+	m := len(t.ref)
+	if row.Len() != m {
+		panic("hw: row length does not match reference")
+	}
 	stats := CycleStats{DecisionCycle: -1}
-	resumed := boundary != nil && boundary.Samples > 0
-	if resumed {
-		stats.DRAMBytes += int64(m) * rowStateBytes // read-back
+	if row.Samples > 0 {
+		// Resuming a stored stage: read the row back plus the write that
+		// parked it in DRAM when the previous stage ended.
+		stats.DRAMBytes += int64(m) * rowStateBytes * 2
 	}
 
 	best := sdtw.IntResult{Cost: math.MaxInt32, EndPos: -1}
@@ -140,7 +156,7 @@ func (t *Tile) classify(query []int8, boundary *sdtw.Row, threshold int32, useTh
 			stats.DRAMBytes += int64(m) * rowStateBytes * 2 // write + read-back
 		}
 	}
-	return best, row, stats
+	return best, stats
 }
 
 // sweep performs one wavefront pass of up to PEsPerTile query samples,

@@ -11,6 +11,9 @@ package readuntil
 import (
 	"fmt"
 	"math"
+
+	"squigglefilter/internal/engine"
+	"squigglefilter/internal/gpu"
 )
 
 // Params describes the specimen and sequencing setup.
@@ -79,6 +82,33 @@ type ClassifierModel struct {
 	// can serve in real time (1 for SquiggleFilter; <1 for GPU
 	// basecalling at scale — Figure 21). Zero means 1.
 	PoreFraction float64
+}
+
+// samplesPerBase converts raw-signal sample counts to sequenced bases.
+// This is the paper's nominal ~10 samples/base (used throughout the
+// repository's prefix accounting, e.g. 2,000 samples ≈ 200 bases); the
+// measured MinION constants in internal/gpu imply ~8.9, but the nominal
+// figure is kept so operating points match the paper's.
+const samplesPerBase = 10
+
+// OperatingPoint builds a ClassifierModel from a measured accuracy and an
+// engine back-end's reported per-read stats: the decision latency comes
+// from Stats.Latency (hardware cycles or modeled GPU kernel time) and the
+// pore fraction from the classifier-vs-sequencer throughput ratio. This is
+// the bridge from the unified back-end layer to the runtime model — the
+// same Result that classified a read parameterizes the sequencing-time
+// prediction.
+func OperatingPoint(name string, tpr, fpr float64, prefixSamples int, st engine.Stats, classifierSamplesPerSec, sequencerSamplesPerSec float64) ClassifierModel {
+	// Degenerate rates yield PoreFraction 0, which Runtime documents as
+	// "unset" and treats as 1.
+	return ClassifierModel{
+		Name:         name,
+		TPR:          tpr,
+		FPR:          fpr,
+		PrefixBases:  float64(prefixSamples) / samplesPerBase,
+		LatencySec:   st.Latency.Seconds(),
+		PoreFraction: gpu.ReadUntilPoreFraction(classifierSamplesPerSec, sequencerSamplesPerSec),
+	}
 }
 
 // decisionBases is the number of bases sequenced before an ejection takes

@@ -57,22 +57,32 @@ type Filter struct {
 	stages []Stage
 }
 
+// ValidateStages checks a stage schedule: non-empty, positive and strictly
+// increasing prefix lengths. It is the single validator for every consumer
+// of a schedule (NewFilter, the engine back-ends and pipeline).
+func ValidateStages(stages []Stage) error {
+	if len(stages) == 0 {
+		return fmt.Errorf("sdtw: at least one stage required")
+	}
+	for i, s := range stages {
+		if s.PrefixSamples <= 0 {
+			return fmt.Errorf("sdtw: stage %d has non-positive prefix", i)
+		}
+		if i > 0 && s.PrefixSamples <= stages[i-1].PrefixSamples {
+			return fmt.Errorf("sdtw: stage prefixes must increase (stage %d)", i)
+		}
+	}
+	return nil
+}
+
 // NewFilter programs a filter with a quantized reference squiggle and
 // stage schedule. Stages must have strictly increasing prefix lengths.
 func NewFilter(ref []int8, cfg IntConfig, stages []Stage) (*Filter, error) {
 	if len(ref) == 0 {
 		return nil, fmt.Errorf("sdtw: empty reference")
 	}
-	if len(stages) == 0 {
-		return nil, fmt.Errorf("sdtw: at least one stage required")
-	}
-	for i, s := range stages {
-		if s.PrefixSamples <= 0 {
-			return nil, fmt.Errorf("sdtw: stage %d has non-positive prefix", i)
-		}
-		if i > 0 && s.PrefixSamples <= stages[i-1].PrefixSamples {
-			return nil, fmt.Errorf("sdtw: stage prefixes must increase (stage %d)", i)
-		}
+	if err := ValidateStages(stages); err != nil {
+		return nil, err
 	}
 	return &Filter{ref: ref, cfg: cfg, stages: stages}, nil
 }

@@ -59,6 +59,19 @@ func NewRow(m int) *Row {
 // Len returns the reference length the row covers.
 func (r *Row) Len() int { return len(r.Cost) }
 
+// Reset returns the row to the boundary state (zero cost and run
+// everywhere, no samples consumed) so it can be reused for another read
+// without reallocating — the engine's sync.Pool depends on this.
+func (r *Row) Reset() {
+	for i := range r.Cost {
+		r.Cost[i] = 0
+	}
+	for i := range r.Run {
+		r.Run[i] = 0
+	}
+	r.Samples = 0
+}
+
 // Clone deep-copies the row (stages snapshot their state before
 // continuing).
 func (r *Row) Clone() *Row {

@@ -1,0 +1,87 @@
+package squigglefilter
+
+import (
+	"fmt"
+
+	"squigglefilter/internal/engine"
+)
+
+// Panel classifies reads against several target genomes at once — e.g. a
+// respiratory panel of SARS-CoV-2, influenza A, and RSV references — and
+// picks the best-matching target per read. Each target runs its own
+// detector schedule, so per-virus thresholds and stage schedules can
+// differ. A Panel is safe for concurrent use.
+type Panel struct {
+	panel *engine.Panel
+	names []string
+}
+
+// NewPanel programs one detector per config and assembles them into a
+// panel.
+func NewPanel(cfgs []DetectorConfig) (*Panel, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("squigglefilter: panel needs at least one target")
+	}
+	targets := make([]engine.Target, len(cfgs))
+	names := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		det, err := NewDetector(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("squigglefilter: panel target %d (%q): %w", i, cfg.Name, err)
+		}
+		targets[i] = engine.Target{Name: cfg.Name, Pipeline: det.swPipe}
+		names[i] = cfg.Name
+	}
+	panel, err := engine.NewPanel(targets)
+	if err != nil {
+		return nil, fmt.Errorf("squigglefilter: %w", err)
+	}
+	return &Panel{panel: panel, names: names}, nil
+}
+
+// Targets returns the panel's target names in order.
+func (p *Panel) Targets() []string {
+	out := make([]string, len(p.names))
+	copy(out, p.names)
+	return out
+}
+
+// PanelVerdict is the outcome of classifying one read against every
+// target.
+type PanelVerdict struct {
+	// Best indexes the accepting target with the lowest per-sample cost,
+	// or -1 when every target rejected the read.
+	Best int
+	// Target is the winning target's name ("" when Best is -1).
+	Target string
+	// Verdicts holds each target's verdict, in panel order.
+	Verdicts []Verdict
+}
+
+func (p *Panel) verdictFrom(r engine.PanelResult) PanelVerdict {
+	pv := PanelVerdict{Best: r.Best, Verdicts: make([]Verdict, len(r.PerTarget))}
+	for i, tr := range r.PerTarget {
+		pv.Verdicts[i] = verdictFrom(tr)
+	}
+	if pv.Best >= 0 {
+		pv.Target = p.names[pv.Best]
+	}
+	return pv
+}
+
+// Classify runs one read against every target concurrently.
+func (p *Panel) Classify(samples []int16) PanelVerdict {
+	return p.verdictFrom(p.panel.Classify(samples))
+}
+
+// ClassifyBatch classifies a batch of reads against every target, sharding
+// each target's work across its own worker pool. Results are in input
+// order.
+func (p *Panel) ClassifyBatch(reads [][]int16) []PanelVerdict {
+	res := p.panel.ClassifyBatch(reads)
+	out := make([]PanelVerdict, len(res))
+	for i, r := range res {
+		out[i] = p.verdictFrom(r)
+	}
+	return out
+}

@@ -17,18 +17,32 @@
 //		// tell the sequencer to eject the read
 //	}
 //
+// Classification is served by interchangeable back-ends behind one
+// interface (internal/engine): the software sDTW filter (Classify,
+// ClassifyBatch), the cycle-accurate accelerator model (ClassifyHW), and
+// the calibrated GPU baseline (ClassifyGPU). All three share a single
+// normalization and staging policy, so their costs and decisions are
+// bit-identical; they differ only in performance accounting. ClassifyBatch
+// shards reads across a worker pool the way the device shards reads across
+// tiles, and a Panel classifies one read against several reference genomes
+// at once.
+//
 // The heavy lifting lives in internal packages: the integer sDTW engine
-// (internal/sdtw), the cycle-accurate accelerator model (internal/hw), the
-// pore model and reference-squiggle construction (internal/pore), and the
-// Read Until runtime model (internal/readuntil). See DESIGN.md for the
+// (internal/sdtw), the back-end interface and concurrent pipeline
+// (internal/engine), the cycle-accurate accelerator model (internal/hw),
+// the pore model and reference-squiggle construction (internal/pore), and
+// the Read Until runtime model (internal/readuntil). See DESIGN.md for the
 // system inventory and EXPERIMENTS.md for the paper reproduction.
 package squigglefilter
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
+	"squigglefilter/internal/engine"
 	"squigglefilter/internal/genome"
+	"squigglefilter/internal/gpu"
 	"squigglefilter/internal/hw"
 	"squigglefilter/internal/metrics"
 	"squigglefilter/internal/pore"
@@ -78,6 +92,9 @@ type DetectorConfig struct {
 	// MatchBonus to a negative value to disable the bonus.
 	MatchBonus int32
 	BonusCap   int32
+	// Workers sizes ClassifyBatch's worker pool (back-end instances reads
+	// are sharded across). Zero means runtime.NumCPU().
+	Workers int
 }
 
 // DefaultThresholdPerSample is a robust default ejection threshold in
@@ -92,7 +109,12 @@ type Detector struct {
 	ref    *pore.Reference
 	filter *sdtw.Filter
 	cfg    sdtw.IntConfig
-	tile   *hw.Tile
+	stages []sdtw.Stage
+
+	sw     engine.Backend   // direct software path (concurrency-safe)
+	gpu    engine.Backend   // calibrated GPU baseline (concurrency-safe)
+	swPipe *engine.Pipeline // batch worker pool over software instances
+	hwPipe *engine.Pipeline // hardware tiles; pipeline serializes access
 }
 
 // NewDetector builds and programs a detector.
@@ -130,11 +152,45 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("squigglefilter: %w", err)
 	}
-	tile, err := hw.NewTile(ref.Int8, icfg)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	swBackend, err := engine.NewSoftware(ref.Int8, icfg)
 	if err != nil {
 		return nil, fmt.Errorf("squigglefilter: %w", err)
 	}
-	return &Detector{name: cfg.Name, ref: ref, filter: filter, cfg: icfg, tile: tile}, nil
+	gpuBackend, err := engine.NewGPU(ref.Int8, icfg, gpu.TitanXP())
+	if err != nil {
+		return nil, fmt.Errorf("squigglefilter: %w", err)
+	}
+	swPipe, err := engine.NewPipeline(func() (engine.Backend, error) {
+		return engine.NewSoftware(ref.Int8, icfg)
+	}, workers, internalStages)
+	if err != nil {
+		return nil, fmt.Errorf("squigglefilter: %w", err)
+	}
+	// One tile per detector, exactly as the single-target device maps one
+	// read to one tile; the pipeline grants exclusive access, keeping
+	// ClassifyHW safe for concurrent use.
+	hwPipe, err := engine.NewPipeline(func() (engine.Backend, error) {
+		return engine.NewHardware(ref.Int8, icfg)
+	}, 1, internalStages)
+	if err != nil {
+		return nil, fmt.Errorf("squigglefilter: %w", err)
+	}
+	return &Detector{
+		name:   cfg.Name,
+		ref:    ref,
+		filter: filter,
+		cfg:    icfg,
+		stages: internalStages,
+		sw:     swBackend,
+		gpu:    gpuBackend,
+		swPipe: swPipe,
+		hwPipe: hwPipe,
+	}, nil
 }
 
 // Name returns the programmed target's name.
@@ -143,6 +199,9 @@ func (d *Detector) Name() string { return d.name }
 // ReferenceSamples returns the reference squiggle length (both strands) —
 // the R in the paper's ~2R-cycle classification latency.
 func (d *Detector) ReferenceSamples() int { return d.ref.Len() }
+
+// Workers returns the size of ClassifyBatch's worker pool.
+func (d *Detector) Workers() int { return d.swPipe.Workers() }
 
 // Verdict is the outcome of classifying one read prefix.
 type Verdict struct {
@@ -155,10 +214,26 @@ type Verdict struct {
 	SamplesUsed int
 }
 
+func verdictFrom(r engine.Result) Verdict {
+	return Verdict{Decision: Decision(r.Decision), Cost: r.Cost, SamplesUsed: r.SamplesUsed}
+}
+
 // Classify runs the software filter over a read's raw 10-bit samples.
 func (d *Detector) Classify(samples []int16) Verdict {
-	v := d.filter.Classify(samples)
-	return Verdict{Decision: Decision(v.Decision), Cost: v.Cost(), SamplesUsed: v.SamplesUsed}
+	return verdictFrom(d.sw.Classify(samples, d.stages))
+}
+
+// ClassifyBatch classifies a batch of reads concurrently, sharding them
+// across the detector's worker pool (DetectorConfig.Workers back-end
+// instances). Results are in input order and identical to calling Classify
+// on each read serially.
+func (d *Detector) ClassifyBatch(reads [][]int16) []Verdict {
+	res := d.swPipe.ClassifyBatch(reads)
+	out := make([]Verdict, len(res))
+	for i, r := range res {
+		out[i] = verdictFrom(r)
+	}
+	return out
 }
 
 // Cost computes the raw alignment cost of a prefix without thresholding —
@@ -176,30 +251,34 @@ type HardwareVerdict struct {
 	Latency   time.Duration
 }
 
-// ClassifyHW classifies the first stage's prefix on the cycle-accurate
-// systolic-array model.
+// ClassifyHW classifies on the cycle-accurate systolic-array model,
+// evaluating the full stage schedule exactly as Classify does (the DP row
+// parks in DRAM between stages, which is what DRAMBytes accounts).
 func (d *Detector) ClassifyHW(samples []int16) HardwareVerdict {
-	stage := d.filter.Stages()[0]
-	n := stage.PrefixSamples
-	if n > len(samples) {
-		n = len(samples)
-	}
-	q, _ := hw.NewNormalizer().Process(samples[:n])
-	res, _, stats := d.tile.ClassifyThreshold(q, nil, stage.Threshold)
-	decision := Accept
-	if res.Cost > stage.Threshold {
-		decision = Reject
-	}
+	r := d.hwPipe.Classify(samples)
 	return HardwareVerdict{
-		Verdict: Verdict{
-			Decision:    decision,
-			Cost:        res.Cost,
-			SamplesUsed: n,
-		},
-		Cycles:    stats.Cycles,
-		DRAMBytes: stats.DRAMBytes,
-		Latency:   time.Duration(float64(stats.Cycles) / hw.ClockHz * float64(time.Second)),
+		Verdict:   verdictFrom(r),
+		Cycles:    r.Stats.Cycles,
+		DRAMBytes: r.Stats.DRAMBytes,
+		Latency:   r.Stats.Latency,
 	}
+}
+
+// GPUVerdict reports the calibrated GPU baseline's modeled kernel latency
+// alongside the (bit-identical) verdict.
+type GPUVerdict struct {
+	Verdict
+	// KernelLatency is the modeled time the device's sDTW kernel takes for
+	// this read under Read Until's small-batch regime (Titan XP envelope).
+	KernelLatency time.Duration
+}
+
+// ClassifyGPU classifies on the GPU-baseline model (paper Table 3's
+// Titan XP): same decisions and costs as Classify, with the latency a GPU
+// software pipeline would pay.
+func (d *Detector) ClassifyGPU(samples []int16) GPUVerdict {
+	r := d.gpu.Classify(samples, d.stages)
+	return GPUVerdict{Verdict: verdictFrom(r), KernelLatency: r.Stats.Latency}
 }
 
 // CalibrateThreshold sweeps thresholds over labelled raw reads and returns
