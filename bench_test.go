@@ -116,3 +116,33 @@ func benchBatch(b *testing.B, workers int) {
 // (requires ≥ 8 hardware threads to show its full effect).
 func BenchmarkClassifyBatch(b *testing.B)       { benchBatch(b, 8) }
 func BenchmarkClassifyBatchSerial(b *testing.B) { benchBatch(b, 1) }
+
+// BenchmarkSessionStream measures the incremental streaming path: every
+// read is fed to a fresh Session in 400-sample chunks (~0.1 s of signal
+// per delivery, the live Read Until granularity). The samples/sec metric
+// counts classified samples, so the overhead over one-shot ClassifyBatch
+// is the per-chunk staging cost — the streaming tax the Session layer is
+// designed to keep negligible.
+func BenchmarkSessionStream(b *testing.B) {
+	g := &genome.Genome{Name: "bench-virus", Seq: genome.Random(rand.New(rand.NewSource(1)), 5000)}
+	det, err := NewDetector(DetectorConfig{Name: g.Name, Sequence: g.Seq.String()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets, hosts := simReads(b, g, 16)
+	reads := append(targets, hosts...)
+	const chunk = 400
+	var consumed int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		consumed = 0
+		for _, r := range reads {
+			sess := det.NewSession()
+			v, _ := sess.Stream(r, chunk)
+			consumed += int64(v.SamplesUsed)
+		}
+	}
+	b.StopTimer()
+	samplesPerSec := float64(consumed) * float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(samplesPerSec, "samples/sec")
+}

@@ -1,15 +1,21 @@
 // Command sfrun classifies a SQGL dataset against a reference on any of
-// the unified classification back-ends and reports the confusion matrix
-// plus throughput.
+// the unified classification back-ends and reports the confusion matrix,
+// a decision summary, and classify-only throughput.
 //
 //	sfrun -data sample.sqgl -ref ref.txt [-threshold N] [-prefix 2000]
-//	      [-backend sw|hw|gpu] [-workers N]
+//	      [-backend sw|hw|gpu] [-workers N] [-stream] [-chunk 400]
 //
 // Without -threshold, the threshold is calibrated on the dataset's ground
 // truth (best F1). The sw back-end shards the batch across -workers
 // software instances; hw and gpu run the cycle-accurate tile and the
 // calibrated GPU baseline, reporting their modeled per-read latency
 // (verdicts are bit-identical across back-ends).
+//
+// -stream replays each read through an incremental Session in -chunk
+// sample deliveries, as a live Read Until loop would — decisions land the
+// moment the stage boundary crosses, and the verdicts are bit-identical
+// to the batch path. Streaming uses the software back-end's session
+// scheduler.
 package main
 
 import (
@@ -23,8 +29,29 @@ import (
 
 	"squigglefilter"
 	"squigglefilter/internal/metrics"
+	"squigglefilter/internal/readuntil"
 	"squigglefilter/internal/sigio"
 )
+
+// summary tallies Read Until decisions.
+type summary struct {
+	accept, reject, cont int
+}
+
+func (s *summary) add(d squigglefilter.Decision) {
+	switch d {
+	case squigglefilter.Accept:
+		s.accept++
+	case squigglefilter.Reject:
+		s.reject++
+	default:
+		s.cont++
+	}
+}
+
+func (s summary) String() string {
+	return fmt.Sprintf("decisions: %d accept, %d reject, %d continue", s.accept, s.reject, s.cont)
+}
 
 func main() {
 	dataPath := flag.String("data", "", "SQGL dataset (from cmd/datagen)")
@@ -33,10 +60,18 @@ func main() {
 	prefix := flag.Int("prefix", 2000, "prefix samples per decision")
 	backend := flag.String("backend", "sw", "classification backend: sw, hw, or gpu")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the sw backend's batch path")
+	stream := flag.Bool("stream", false, "replay reads through incremental sessions (sw backend)")
+	chunk := flag.Int("chunk", 400, "streaming chunk size in samples (~0.1 s of signal)")
 	flag.Parse()
 	if *dataPath == "" || *refPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *stream && *backend != "sw" {
+		log.Fatalf("-stream runs on the software session scheduler; use -backend sw (got %q)", *backend)
+	}
+	if *stream && *chunk <= 0 {
+		log.Fatalf("-chunk must be positive, got %d", *chunk)
 	}
 
 	refText, err := os.ReadFile(*refPath)
@@ -51,6 +86,9 @@ func main() {
 	reads, err := sigio.Read(f)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if len(reads) == 0 {
+		log.Fatalf("dataset %s contains no reads", *dataPath)
 	}
 
 	det, err := squigglefilter.NewDetector(squigglefilter.DetectorConfig{
@@ -87,32 +125,48 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if len(reads) == 0 {
-		log.Fatalf("dataset %s contains no reads", *dataPath)
-	}
 	samples := make([][]int16, len(reads))
 	for i, r := range reads {
 		samples[i] = r.Samples
 	}
 
+	// Everything above (dataset load, detector programming, calibration)
+	// is excluded from the throughput clock: the timed region is classify
+	// work only.
 	var cm metrics.Confusion
+	var sum summary
 	var consumed int64
 	poolSize := 1 // hw and gpu classify serially; only sw shards the batch
+	mode := *backend
 	start := time.Now()
-	switch *backend {
-	case "sw":
+	switch {
+	case *stream:
+		// Reads replay serially through sessions (one live channel), so
+		// the throughput figure is a 1-worker number regardless of the
+		// pool size.
+		mode = "sw/stream"
+		for i, s := range samples {
+			sess := det2.NewSession()
+			v, _ := sess.Stream(s, *chunk)
+			cm.Add(reads[i].Target, v.Decision == squigglefilter.Accept)
+			sum.add(v.Decision)
+			consumed += int64(v.SamplesUsed)
+		}
+	case *backend == "sw":
 		poolSize = det2.Workers()
 		verdicts := det2.ClassifyBatch(samples)
 		for i, v := range verdicts {
 			cm.Add(reads[i].Target, v.Decision == squigglefilter.Accept)
+			sum.add(v.Decision)
 			consumed += int64(v.SamplesUsed)
 		}
-	case "hw":
+	case *backend == "hw":
 		var cycles, dram int64
 		var latency time.Duration
 		for i, s := range samples {
 			v := det2.ClassifyHW(s)
 			cm.Add(reads[i].Target, v.Decision == squigglefilter.Accept)
+			sum.add(v.Decision)
 			consumed += int64(v.SamplesUsed)
 			cycles += v.Cycles
 			dram += v.DRAMBytes
@@ -120,11 +174,12 @@ func main() {
 		}
 		fmt.Printf("hardware model: %d cycles, %d DRAM bytes, mean latency %v/read\n",
 			cycles, dram, latency/time.Duration(len(samples)))
-	case "gpu":
+	case *backend == "gpu":
 		var latency time.Duration
 		for i, s := range samples {
 			v := det2.ClassifyGPU(s)
 			cm.Add(reads[i].Target, v.Decision == squigglefilter.Accept)
+			sum.add(v.Decision)
 			consumed += int64(v.SamplesUsed)
 			latency += v.KernelLatency
 		}
@@ -134,7 +189,8 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("classified %d reads at prefix %d on %s backend: %s\n", len(reads), *prefix, *backend, cm)
-	fmt.Printf("wall clock %v (%.0f samples/sec, %d workers)\n",
+	fmt.Printf("classified %d reads at prefix %d on %s backend: %s\n", len(reads), *prefix, mode, cm)
+	fmt.Printf("%s (mean decision at %.0f bases)\n", sum, float64(consumed)/float64(len(reads))/readuntil.SamplesPerBase)
+	fmt.Printf("classify-only: %v (%.0f samples/sec, %d workers)\n",
 		elapsed.Round(time.Millisecond), float64(consumed)/elapsed.Seconds(), poolSize)
 }

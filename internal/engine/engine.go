@@ -15,17 +15,23 @@
 // stage of a multi-stage schedule by construction. Only the per-chunk DP
 // kernel (and its performance accounting) differs per back-end.
 //
+// The staging policy itself is incremental: a Session accepts raw signal
+// in arbitrary chunk sizes (Feed) and decides the moment a stage boundary
+// is crossed, exactly as the live Read Until loop requires; one-shot
+// Classify is a Session fed the whole read at once, so streamed and
+// one-shot verdicts are bit-identical by construction too.
+//
 // On top of Backend, Pipeline shards reads across a pool of back-end
 // instances — the software analogue of the accelerator's independent tiles
-// — and Panel classifies one read against several reference genomes at
-// once, picking the best-matching target.
+// — multiplexes many live Sessions over those instances
+// (Pipeline.NewSession), and Panel classifies one read against several
+// reference genomes at once, picking the best-matching target.
 package engine
 
 import (
 	"sync"
 	"time"
 
-	"squigglefilter/internal/normalize"
 	"squigglefilter/internal/sdtw"
 )
 
@@ -69,6 +75,13 @@ type Backend interface {
 	RefLen() int
 	// Classify runs the staged filter over a read's raw 10-bit samples.
 	Classify(samples []int16, stages []sdtw.Stage) Result
+	// NewSession starts an incremental classification of one read under
+	// the given schedule: feed raw signal in arbitrary chunks, get the
+	// verdict at the first crossed stage boundary that decides. Sessions
+	// of a non-concurrency-safe back-end (the hardware tile) share that
+	// instance's state only while Feed is running DP work; interleave
+	// them from one goroutine or use Pipeline.NewSession.
+	NewSession(stages []sdtw.Stage) (*Session, error)
 }
 
 // ValidateStages checks a stage schedule: non-empty, positive and strictly
@@ -106,48 +119,33 @@ func newStager(k kernel) *stager {
 func (s *stager) Name() string { return s.k.name() }
 func (s *stager) RefLen() int  { return s.k.refLen() }
 
+// newSession wires a Session to this back-end's kernel and row pool. The
+// schedule must already be validated.
+func (s *stager) newSession(stages []sdtw.Stage) *Session {
+	row := s.pool.Get().(*sdtw.Row)
+	row.Reset()
+	return newSession(stages, row, s.k.extend, func(r *sdtw.Row) { s.pool.Put(r) })
+}
+
+// NewSession starts an incremental classification of one read.
+func (s *stager) NewSession(stages []sdtw.Stage) (*Session, error) {
+	if err := ValidateStages(stages); err != nil {
+		return nil, err
+	}
+	return s.newSession(stages), nil
+}
+
 // Classify runs the staged filter: each stage normalizes only the newly
 // arrived chunk as one window (the hardware normalizer works on fixed
 // windows as samples stream in) and extends the saved DP row, so no DP work
 // is repeated across stages. A read shorter than the first stage boundary
-// is decided with whatever signal exists.
+// is decided with whatever signal exists; a zero-length read yields the
+// Continue verdict (no signal, no decision) on every back-end.
+//
+// Classify is a Session fed the whole read at once, which is what makes
+// streamed and one-shot classification bit-identical by construction.
 func (s *stager) Classify(samples []int16, stages []sdtw.Stage) Result {
-	row := s.pool.Get().(*sdtw.Row)
-	row.Reset()
-	defer s.pool.Put(row)
-
-	res := Result{Decision: sdtw.Continue, EndPos: -1}
-	consumed := 0
-	for si, stage := range stages {
-		end := stage.PrefixSamples
-		last := si == len(stages)-1
-		if end >= len(samples) {
-			end = len(samples)
-			last = true // read exhausted: this stage is final
-		}
-		if end <= consumed {
-			break
-		}
-		chunk := normalize.ApplyInt8(samples[consumed:end])
-		r := s.k.extend(row, chunk, &res.Stats)
-		consumed = end
-		sr := sdtw.StageResult{Stage: si, Samples: consumed, Cost: r.Cost, EndPos: r.EndPos}
-		switch {
-		case r.Cost > stage.Threshold:
-			sr.Decision = sdtw.Reject
-		case last:
-			sr.Decision = sdtw.Accept
-		default:
-			sr.Decision = sdtw.Continue
-		}
-		res.PerStage = append(res.PerStage, sr)
-		res.Decision = sr.Decision
-		res.Cost = r.Cost
-		res.EndPos = r.EndPos
-		res.SamplesUsed = consumed
-		if sr.Decision != sdtw.Continue {
-			break
-		}
-	}
-	return res
+	sess := s.newSession(stages)
+	sess.Feed(samples)
+	return sess.Finalize()
 }

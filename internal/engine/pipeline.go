@@ -11,12 +11,21 @@ import (
 // Pipeline shards reads across a pool of back-end instances — the software
 // analogue of the accelerator's NumTiles independent tiles. It is safe for
 // concurrent use even when the underlying back-end is not: every
-// classification borrows an instance exclusively for its duration.
+// classification borrows an instance exclusively for its duration, and
+// live Sessions (NewSession) borrow one only while crossing a stage
+// boundary, so many sequencing channels multiplex over few instances.
 type Pipeline struct {
 	stages []sdtw.Stage
 	insts  chan Backend
 	n      int
 	refLen int
+	// sessionable records whether every instance is an engine-built
+	// stager, whose kernel NewSession can drive incrementally.
+	sessionable bool
+	// rows pools DP rows for sessions, which outlive any one instance
+	// borrow (the session parks its row like the hardware parks rows in
+	// DRAM between stages).
+	rows sync.Pool
 }
 
 // NewPipeline builds instances back-ends via factory and programs them all
@@ -30,6 +39,7 @@ func NewPipeline(factory func() (Backend, error), instances int, stages []sdtw.S
 	}
 	insts := make(chan Backend, instances)
 	refLen := 0
+	sessionable := true
 	for i := 0; i < instances; i++ {
 		b, err := factory()
 		if err != nil {
@@ -40,9 +50,14 @@ func NewPipeline(factory func() (Backend, error), instances int, stages []sdtw.S
 		} else if b.RefLen() != refLen {
 			return nil, fmt.Errorf("engine: backend instance %d has reference length %d, want %d", i, b.RefLen(), refLen)
 		}
+		if _, ok := b.(*stager); !ok {
+			sessionable = false
+		}
 		insts <- b
 	}
-	return &Pipeline{stages: stages, insts: insts, n: instances, refLen: refLen}, nil
+	p := &Pipeline{stages: stages, insts: insts, n: instances, refLen: refLen, sessionable: sessionable}
+	p.rows.New = func() any { return sdtw.NewRow(refLen) }
+	return p, nil
 }
 
 // Workers returns the number of back-end instances.
@@ -56,6 +71,30 @@ func (p *Pipeline) Stages() []sdtw.Stage {
 	out := make([]sdtw.Stage, len(p.stages))
 	copy(out, p.stages)
 	return out
+}
+
+// NewSession starts an incremental classification scheduled over the
+// instance pool: the session's DP row and stage buffer park inside the
+// session (like the hardware's DRAM-parked rows), and an instance is
+// borrowed only for the duration of each stage-boundary DP extension, so
+// arbitrarily many live channels can hold open sessions over n instances.
+// Sessions are safe to drive from concurrent goroutines (one goroutine
+// per session); the instance pool serializes the DP work.
+//
+// It errors when the pipeline was built over back-ends this package did
+// not construct (their kernels cannot be driven incrementally).
+func (p *Pipeline) NewSession() (*Session, error) {
+	if !p.sessionable {
+		return nil, fmt.Errorf("engine: pipeline back-ends do not support incremental sessions")
+	}
+	row := p.rows.Get().(*sdtw.Row)
+	row.Reset()
+	extend := func(row *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult {
+		b := <-p.insts
+		defer func() { p.insts <- b }()
+		return b.(*stager).k.extend(row, chunk, st)
+	}
+	return newSession(p.stages, row, extend, func(r *sdtw.Row) { p.rows.Put(r) }), nil
 }
 
 // Classify classifies one read on a borrowed instance.

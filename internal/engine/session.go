@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"squigglefilter/internal/normalize"
+	"squigglefilter/internal/sdtw"
+)
+
+// Session is an incremental classification of one read: raw signal arrives
+// in arbitrary chunk sizes (per-channel MinION deliveries are ~0.1 s of
+// samples) and a verdict is emitted the moment a stage boundary is
+// crossed, without waiting for the read to finish — the live Read Until
+// deployment loop of paper Section 3.
+//
+// A session holds exactly the state the accelerator parks per read:
+//
+//   - the resumable DP row (sdtw.Row — what the last PE streams to DRAM
+//     between stages);
+//   - the raw-sample buffer of the current, not-yet-complete stage chunk
+//     (the normalizer works on whole stage windows, so samples are staged
+//     until the boundary arrives);
+//   - the stage cursor and the running Result.
+//
+// Feed consumes a chunk and reports the classification so far; once it
+// returns done=true the read is decided and further chunks are ignored.
+// Finalize ends the read early (the molecule finished translocating): any
+// buffered partial stage is evaluated as the final stage, so Finalize
+// after feeding a whole read is bit-identical to one-shot
+// Backend.Classify — the one-shot path is in fact implemented as a
+// Session fed once.
+//
+// A Session is single-read and single-goroutine; run one session per live
+// channel and let many sessions share a Pipeline (Pipeline.NewSession),
+// which multiplexes their DP work over the instance pool.
+type Session struct {
+	stages []sdtw.Stage
+	// extend runs the back-end DP kernel over one normalized stage chunk.
+	// For direct back-end sessions it is the kernel itself; for pipeline
+	// sessions it borrows an instance for the duration of the call.
+	extend func(row *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult
+	// release returns the DP row to its pool once the session is decided.
+	release func(*sdtw.Row)
+
+	row      *sdtw.Row
+	buf      []int16 // raw samples of the current incomplete stage chunk
+	consumed int     // samples already normalized and extended
+	stage    int     // next stage to evaluate
+	res      Result
+	done     bool
+}
+
+func newSession(stages []sdtw.Stage, row *sdtw.Row,
+	extend func(*sdtw.Row, []int8, *Stats) sdtw.IntResult, release func(*sdtw.Row)) *Session {
+	return &Session{
+		stages:  stages,
+		extend:  extend,
+		release: release,
+		row:     row,
+		res:     Result{Decision: sdtw.Continue, EndPos: -1},
+	}
+}
+
+// Feed appends a chunk of raw 10-bit samples and evaluates every stage
+// boundary the signal has now crossed. It returns the classification so
+// far and whether the read is decided (Accept or Reject); before the
+// first boundary the decision is Continue. Once done, further chunks are
+// ignored (the pore is either ejecting or sequencing to completion) and
+// the decided result is returned unchanged.
+func (s *Session) Feed(chunk []int16) (Result, bool) {
+	if s.done {
+		return s.res, true
+	}
+	// While nothing is buffered, consume whole stage chunks straight from
+	// the caller's slice; only the incomplete tail is copied. This keeps
+	// the one-shot Classify wrapper free of per-read signal copies.
+	for len(s.buf) == 0 && s.stage < len(s.stages) {
+		need := s.stages[s.stage].PrefixSamples - s.consumed
+		if len(chunk) < need {
+			break
+		}
+		s.runStage(chunk[:need:need], false)
+		if s.done {
+			return s.res, true
+		}
+		chunk = chunk[need:]
+	}
+	s.buf = append(s.buf, chunk...)
+	for s.stage < len(s.stages) {
+		need := s.stages[s.stage].PrefixSamples - s.consumed
+		if len(s.buf) < need {
+			break
+		}
+		s.runStage(s.buf[:need:need], false)
+		if s.done {
+			return s.res, true
+		}
+		n := copy(s.buf, s.buf[need:])
+		s.buf = s.buf[:n]
+	}
+	return s.res, s.done
+}
+
+// Finalize signals that the read ended. A buffered partial stage is
+// evaluated as the final stage (a read that ends is decided with whatever
+// signal exists); a read that ended exactly on an undecided stage
+// boundary upgrades that stage's Continue to Accept, matching the
+// one-shot path. A session that never saw a sample keeps the Continue
+// verdict — the zero-length-read guard: no empty chunk ever reaches the
+// normalizer or a kernel. Finalize is idempotent and releases the
+// session's DP row.
+func (s *Session) Finalize() Result {
+	if s.done {
+		return s.res
+	}
+	switch {
+	case len(s.buf) > 0 && s.stage < len(s.stages):
+		// runStage with final=true always decides (Accept or Reject).
+		s.runStage(s.buf, true)
+	case len(s.res.PerStage) > 0:
+		// The read ended exactly at the last evaluated boundary: that
+		// stage was the final look after all.
+		last := &s.res.PerStage[len(s.res.PerStage)-1]
+		if last.Decision == sdtw.Continue {
+			last.Decision = sdtw.Accept
+			s.res.Decision = sdtw.Accept
+		}
+	}
+	if !s.done {
+		s.finish()
+	}
+	return s.res
+}
+
+// Stream feeds a read's signal in chunkSamples-sized deliveries (<= 0
+// feeds everything at once), stopping at the first decision, then
+// finalizes. The returned bool reports whether a stage decided before
+// the signal ended — the only case a live loop can act on with an
+// ejection; a read that ends undecided is finalized for its verdict but
+// has already left the pore.
+func (s *Session) Stream(samples []int16, chunkSamples int) (Result, bool) {
+	if chunkSamples <= 0 {
+		chunkSamples = len(samples)
+	}
+	done := false
+	for off := 0; off < len(samples) && !done; off += chunkSamples {
+		end := off + chunkSamples
+		if end > len(samples) {
+			end = len(samples)
+		}
+		_, done = s.Feed(samples[off:end])
+	}
+	// Idempotent when already decided; decides the trailing partial
+	// stage otherwise.
+	return s.Finalize(), done
+}
+
+// Decided reports whether the session has reached an Accept or Reject.
+// A finalized session whose read delivered no signal stays undecided
+// (its verdict is Continue).
+func (s *Session) Decided() bool { return s.res.Decision != sdtw.Continue }
+
+// SamplesBuffered returns the raw samples parked awaiting the next stage
+// boundary (diagnostics for schedulers).
+func (s *Session) SamplesBuffered() int { return len(s.buf) }
+
+// runStage normalizes one complete (or, when final, trailing partial)
+// stage chunk as a single window, extends the DP row, and applies the
+// stage threshold. final marks the read's last signal, which makes this
+// stage terminal regardless of its position in the schedule.
+func (s *Session) runStage(raw []int16, final bool) {
+	chunk := normalize.ApplyInt8(raw)
+	r := s.extend(s.row, chunk, &s.res.Stats)
+	s.consumed += len(raw)
+	stage := s.stages[s.stage]
+	last := final || s.stage == len(s.stages)-1
+	sr := sdtw.StageResult{Stage: s.stage, Samples: s.consumed, Cost: r.Cost, EndPos: r.EndPos}
+	switch {
+	case r.Cost > stage.Threshold:
+		sr.Decision = sdtw.Reject
+	case last:
+		sr.Decision = sdtw.Accept
+	default:
+		sr.Decision = sdtw.Continue
+	}
+	s.res.PerStage = append(s.res.PerStage, sr)
+	s.res.Decision = sr.Decision
+	s.res.Cost = r.Cost
+	s.res.EndPos = r.EndPos
+	s.res.SamplesUsed = s.consumed
+	s.stage++
+	if sr.Decision != sdtw.Continue {
+		s.finish()
+	}
+}
+
+// finish marks the session decided and returns the DP row to its pool.
+func (s *Session) finish() {
+	s.done = true
+	s.buf = nil
+	if s.release != nil && s.row != nil {
+		s.release(s.row)
+		s.row = nil
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+
+	"squigglefilter/internal/readuntil"
 )
 
 // Config describes the flow cell.
@@ -44,7 +46,7 @@ func DefaultConfig() Config {
 	return Config{
 		Channels:         512,
 		BasesPerSec:      450,
-		SamplesPerBase:   10,
+		SamplesPerBase:   readuntil.SamplesPerBase,
 		CaptureMeanSec:   1.0,
 		EjectSec:         0.5,
 		BlockRatePerHour: 0.25,
@@ -68,6 +70,10 @@ func (c Config) Validate() error {
 type ReadPlan struct {
 	LengthBases int
 	Target      bool
+	// Samples optionally carries the read's raw 10-bit signal for
+	// signal-level classifiers (SessionClassifier streams it through a
+	// real engine Session); nil in statistical TPR/FPR mode.
+	Samples []int16
 }
 
 // ReadSource draws the next read captured by a pore.
@@ -81,8 +87,11 @@ type Decision struct {
 	DecisionBases int
 }
 
-// Classifier models Read Until decisions statistically (the DES does not
-// run the actual DP per read; accuracy enters through TPR/FPR draws).
+// Classifier decides Read Until for one read. ThresholdClassifier models
+// decisions statistically (accuracy enters through TPR/FPR draws);
+// SessionClassifier (live.go) instead streams the plan's raw squiggle
+// through a real engine Session, so accuracy and decision timing come out
+// of the actual sDTW dynamic programming.
 type Classifier func(rng *rand.Rand, r ReadPlan) Decision
 
 // SequenceAll is the control arm: never eject.

@@ -84,12 +84,14 @@ type ClassifierModel struct {
 	PoreFraction float64
 }
 
-// samplesPerBase converts raw-signal sample counts to sequenced bases.
+// SamplesPerBase converts raw-signal sample counts to sequenced bases.
 // This is the paper's nominal ~10 samples/base (used throughout the
 // repository's prefix accounting, e.g. 2,000 samples ≈ 200 bases); the
 // measured MinION constants in internal/gpu imply ~8.9, but the nominal
-// figure is kept so operating points match the paper's.
-const samplesPerBase = 10
+// figure is kept so operating points match the paper's. It is the single
+// definition shared by this model, the flow-cell simulator
+// (minion.DefaultConfig), and cmd/sfrun's bases accounting.
+const SamplesPerBase = 10
 
 // OperatingPoint builds a ClassifierModel from a measured accuracy and an
 // engine back-end's reported per-read stats: the decision latency comes
@@ -105,7 +107,7 @@ func OperatingPoint(name string, tpr, fpr float64, prefixSamples int, st engine.
 		Name:         name,
 		TPR:          tpr,
 		FPR:          fpr,
-		PrefixBases:  float64(prefixSamples) / samplesPerBase,
+		PrefixBases:  float64(prefixSamples) / SamplesPerBase,
 		LatencySec:   st.Latency.Seconds(),
 		PoreFraction: gpu.ReadUntilPoreFraction(classifierSamplesPerSec, sequencerSamplesPerSec),
 	}

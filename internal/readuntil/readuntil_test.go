@@ -1,10 +1,14 @@
-package readuntil
+// External test package: minion (imported for cross-validation) itself
+// imports readuntil for the shared SamplesPerBase constant, so an
+// in-package test would be an import cycle.
+package readuntil_test
 
 import (
 	"math"
 	"testing"
 
 	"squigglefilter/internal/minion"
+	. "squigglefilter/internal/readuntil"
 )
 
 func perfectClassifier() ClassifierModel {

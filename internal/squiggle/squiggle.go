@@ -286,6 +286,44 @@ func (s *Simulator) BalancedPair(target, host *genome.Genome, n, lenMean int) (t
 	return targets, hosts
 }
 
+// FixedLengthPair generates n target and n host reads of fixed fragment
+// lengths (random positions and strands). The flow-cell live mode uses
+// these pools because the analytical Read Until runtime model assumes one
+// fixed read length per class; with lengths pinned, any measured-vs-
+// predicted gap is the classifier's, not the length distribution's.
+func (s *Simulator) FixedLengthPair(target, host *genome.Genome, n, targetLen, hostLen int) (targets, hosts []*Read) {
+	targets = make([]*Read, n)
+	hosts = make([]*Read, n)
+	clamp := func(l, max int) int {
+		if l > max {
+			return max
+		}
+		return l
+	}
+	for i := 0; i < n; i++ {
+		length := clamp(targetLen, target.Len())
+		pos := 0
+		if target.Len() > length {
+			pos = s.rng.Intn(target.Len() - length)
+		}
+		r := s.ReadFrom(target, pos, length, s.rng.Intn(2) == 1)
+		r.ID = fmt.Sprintf("t%04d", i)
+		r.Target = true
+		targets[i] = r
+
+		length = clamp(hostLen, host.Len())
+		pos = 0
+		if host.Len() > length {
+			pos = s.rng.Intn(host.Len() - length)
+		}
+		h := s.ReadFrom(host, pos, length, s.rng.Intn(2) == 1)
+		h.ID = fmt.Sprintf("h%04d", i)
+		h.Target = false
+		hosts[i] = h
+	}
+	return targets, hosts
+}
+
 func (s *Simulator) fragmentLength(mean int, sigma float64, minLen, maxLen int) int {
 	mu := math.Log(float64(mean)) - sigma*sigma/2
 	length := int(math.Round(math.Exp(mu + s.rng.NormFloat64()*sigma)))

@@ -27,6 +27,20 @@
 // tiles, and a Panel classifies one read against several reference genomes
 // at once.
 //
+// For live Read Until, NewSession classifies incrementally: feed raw
+// signal chunk by chunk as the sequencer delivers it and the verdict is
+// emitted the moment a stage boundary decides, bit-identical to one-shot
+// Classify on the same signal:
+//
+//	sess := det.NewSession()
+//	for chunk := range channelDeliveries {
+//		if v, done := sess.Feed(chunk); done {
+//			// v.Decision arrived mid-read; eject or keep sequencing
+//			break
+//		}
+//	}
+//	v := sess.Finalize() // read ended before a boundary decided
+//
 // The heavy lifting lives in internal packages: the integer sDTW engine
 // (internal/sdtw), the back-end interface and concurrent pipeline
 // (internal/engine), the cycle-accurate accelerator model (internal/hw),
@@ -222,6 +236,58 @@ func verdictFrom(r engine.Result) Verdict {
 func (d *Detector) Classify(samples []int16) Verdict {
 	return verdictFrom(d.sw.Classify(samples, d.stages))
 }
+
+// Session is an incremental classification of one read: raw signal
+// arrives in arbitrary chunk sizes as the sequencer delivers it, and the
+// verdict is emitted the moment a stage boundary decides — the live Read
+// Until loop, without waiting for the full prefix to be buffered by the
+// caller. Streamed verdicts are bit-identical to one-shot Classify on the
+// same signal.
+//
+// Use one Session per read, from one goroutine; any number of concurrent
+// sessions may be open at once (their DP work multiplexes over the
+// detector's worker pool).
+type Session struct {
+	s *engine.Session
+}
+
+// NewSession starts an incremental classification of one read.
+func (d *Detector) NewSession() *Session {
+	s, err := d.swPipe.NewSession()
+	if err != nil {
+		// Unreachable: the detector's pipeline is engine-built and its
+		// schedule was validated at construction.
+		panic("squigglefilter: " + err.Error())
+	}
+	return &Session{s: s}
+}
+
+// Feed appends a chunk of raw samples and returns the verdict so far plus
+// whether the read is decided (Accept or Reject). Once decided, further
+// chunks are ignored.
+func (s *Session) Feed(chunk []int16) (Verdict, bool) {
+	r, done := s.s.Feed(chunk)
+	return verdictFrom(r), done
+}
+
+// Finalize signals that the read ended: any signal short of the next
+// stage boundary is decided as the final stage, exactly as Classify
+// decides a short read. Finalize is idempotent.
+func (s *Session) Finalize() Verdict {
+	return verdictFrom(s.s.Finalize())
+}
+
+// Stream feeds a whole read in chunkSamples-sized deliveries (<= 0
+// feeds it at once), stopping at the first decision, then finalizes.
+// The returned bool reports whether a stage decided before the signal
+// ended — the only case Read Until can still eject the read.
+func (s *Session) Stream(samples []int16, chunkSamples int) (Verdict, bool) {
+	r, decided := s.s.Stream(samples, chunkSamples)
+	return verdictFrom(r), decided
+}
+
+// Decided reports whether the session has reached an Accept or Reject.
+func (s *Session) Decided() bool { return s.s.Decided() }
 
 // ClassifyBatch classifies a batch of reads concurrently, sharding them
 // across the detector's worker pool (DetectorConfig.Workers back-end

@@ -2,6 +2,7 @@ package squigglefilter
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"squigglefilter/internal/genome"
@@ -155,6 +156,52 @@ func TestPerformanceEnvelope(t *testing.T) {
 	if det.Name() != "test-virus" {
 		t.Errorf("name %q", det.Name())
 	}
+}
+
+// TestSessionMatchesClassify drives the public streaming API with small
+// chunks and checks every verdict is identical to one-shot Classify —
+// including concurrent sessions sharing the detector's worker pool.
+func TestSessionMatchesClassify(t *testing.T) {
+	det, g := testDetector(t, []Stage{
+		{PrefixSamples: 1000, Threshold: 1000 * (DefaultThresholdPerSample + 1)},
+		{PrefixSamples: 3000, Threshold: 3000 * DefaultThresholdPerSample},
+	})
+	targets, hosts := simReads(t, g, 6)
+	reads := append(targets, hosts...)
+
+	var wg sync.WaitGroup
+	for i, r := range reads {
+		wg.Add(1)
+		go func(i int, r []int16) {
+			defer wg.Done()
+			want := det.Classify(r)
+			sess := det.NewSession()
+			var got Verdict
+			done := false
+			for off := 0; off < len(r) && !done; off += 333 {
+				end := off + 333
+				if end > len(r) {
+					end = len(r)
+				}
+				got, done = sess.Feed(r[off:end])
+			}
+			if !done {
+				got = sess.Finalize()
+			}
+			if got != want {
+				t.Errorf("read %d: streamed verdict %+v != one-shot %+v", i, got, want)
+			}
+			if sess.Decided() != (want.Decision != Continue) {
+				t.Errorf("read %d: Decided() inconsistent with verdict %v", i, want.Decision)
+			}
+			// Stream is the chunk loop above packaged as one call.
+			sess2 := det.NewSession()
+			if v2, _ := sess2.Stream(r, 333); v2 != want {
+				t.Errorf("read %d: Stream verdict %+v != one-shot %+v", i, v2, want)
+			}
+		}(i, r)
+	}
+	wg.Wait()
 }
 
 func TestDecisionString(t *testing.T) {
