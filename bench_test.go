@@ -15,6 +15,7 @@
 package squigglefilter
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -116,6 +117,96 @@ func benchBatch(b *testing.B, workers int) {
 // (requires ≥ 8 hardware threads to show its full effect).
 func BenchmarkClassifyBatch(b *testing.B)       { benchBatch(b, 8) }
 func BenchmarkClassifyBatchSerial(b *testing.B) { benchBatch(b, 1) }
+
+// benchPanel builds an nTargets panel whose first target is the genome
+// the benchmark reads come from (single stage at the paper's 2,000-sample
+// operating point) and whose decoys run a longer accept-anything schedule
+// (stages at 1,000 and 4,000) — the heterogeneous-schedule case where
+// cross-target pruning pays: once the true target accepts at 2,000
+// samples, dominated decoys stop consuming DP instead of running to
+// 4,000.
+func benchPanel(b *testing.B, nTargets int) (*Panel, [][]int16) {
+	b.Helper()
+	g := &genome.Genome{Name: "bench-virus", Seq: genome.Random(rand.New(rand.NewSource(1)), 5000)}
+	cfgs := []DetectorConfig{{Name: g.Name, Sequence: g.Seq.String()}}
+	rng := rand.New(rand.NewSource(33))
+	for i := 1; i < nTargets; i++ {
+		cfgs = append(cfgs, DetectorConfig{
+			Name:     fmt.Sprintf("decoy-%d", i),
+			Sequence: genome.Random(rng, 5000).String(),
+			Stages: []Stage{
+				{PrefixSamples: 1000, Threshold: 1 << 30},
+				{PrefixSamples: 4000, Threshold: 1 << 30},
+			},
+		})
+	}
+	panel, err := NewPanel(cfgs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets, _ := simReads(b, g, 16)
+	return panel, targets
+}
+
+// benchPanelSession streams target reads through PanelSessions in
+// 400-sample deliveries and reports two metrics: samples/sec counts raw
+// read samples the panel consumed from the sequencer (throughput a live
+// loop sees), and dpsamples/read counts samples that entered dynamic
+// programming summed over targets — the work cross-target pruning
+// shrinks. Compare prune=off and prune=on at equal target counts for the
+// pruning win; compare targets=1 against the multi-target runs for the
+// panel's marginal cost.
+func benchPanelSession(b *testing.B, nTargets int, prune bool) {
+	panel, reads := benchPanel(b, nTargets)
+	policy := PrunePolicy{Enabled: prune}
+	const chunk = 400
+	var fed, dp int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fed, dp = 0, 0
+		for _, r := range reads {
+			sess, err := panel.NewSession(policy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess.Stream(r, chunk)
+			fed += int64(sess.SamplesFed())
+			dp += sess.DPSamples()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(fed)*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+	b.ReportMetric(float64(dp)/float64(len(reads)), "dpsamples/read")
+	b.ReportMetric(float64(nTargets), "targets")
+}
+
+// BenchmarkPanelSession is the multi-target scaling benchmark: panels of
+// 1, 4, and 8 targets, with and without cross-target pruning. CI uploads
+// its -json output as BENCH_panel.json.
+func BenchmarkPanelSession(b *testing.B) {
+	for _, n := range []int{1, 4, 8} {
+		for _, prune := range []bool{false, true} {
+			b.Run(fmt.Sprintf("targets=%d/prune=%v", n, prune), func(b *testing.B) {
+				benchPanelSession(b, n, prune)
+			})
+		}
+	}
+}
+
+// BenchmarkPanelClassifySingle pins the single-target Panel.Classify
+// allocation count: the target now classifies inline on the caller's
+// goroutine (before the bounded-worker fix this path spawned a goroutine
+// plus WaitGroup per call — 10 allocs/op, 1669 B/op).
+func BenchmarkPanelClassifySingle(b *testing.B) {
+	panel, reads := benchPanel(b, 1)
+	read := reads[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		panel.Classify(read)
+	}
+}
 
 // BenchmarkSessionStream measures the incremental streaming path: every
 // read is fed to a fresh Session in 400-sample chunks (~0.1 s of signal

@@ -4,6 +4,8 @@
 //
 //	sfrun -data sample.sqgl -ref ref.txt [-threshold N] [-prefix 2000]
 //	      [-backend sw|hw|gpu] [-workers N] [-stream] [-chunk 400]
+//	sfrun -data sample.sqgl -panel refA.txt,refB.txt,... [-stream]
+//	      [-prune-margin M] [-threshold N] [-prefix 2000]
 //
 // Without -threshold, the threshold is calibrated on the dataset's ground
 // truth (best F1). The sw back-end shards the batch across -workers
@@ -16,6 +18,16 @@
 // moment the stage boundary crosses, and the verdicts are bit-identical
 // to the batch path. Streaming uses the software back-end's session
 // scheduler.
+//
+// -panel takes comma-separated reference files and classifies every read
+// against all of them at once, printing a per-target summary table. A
+// read is positive when any target accepts it; the accepted target with
+// the exact lowest per-sample cost wins the attribution. With -stream,
+// reads replay through PanelSessions; -prune-margin >= 0 additionally
+// enables cross-target pruning (undecided targets trailing the accepted
+// leader by more than M cost units per sample stop consuming DP work;
+// negative M, the default, disables pruning and keeps streamed verdicts
+// bit-identical to the one-shot path).
 package main
 
 import (
@@ -23,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -31,6 +44,7 @@ import (
 	"squigglefilter/internal/metrics"
 	"squigglefilter/internal/readuntil"
 	"squigglefilter/internal/sigio"
+	"squigglefilter/internal/squiggle"
 )
 
 // summary tallies Read Until decisions.
@@ -56,14 +70,16 @@ func (s summary) String() string {
 func main() {
 	dataPath := flag.String("data", "", "SQGL dataset (from cmd/datagen)")
 	refPath := flag.String("ref", "", "reference sequence file (ACGT text)")
-	threshold := flag.Int("threshold", 0, "ejection threshold (0 = calibrate on ground truth)")
+	panelRefs := flag.String("panel", "", "comma-separated reference files for multi-target panel mode")
+	threshold := flag.Int("threshold", 0, "ejection threshold (0 = calibrate on ground truth; panel mode defaults to 3/sample)")
 	prefix := flag.Int("prefix", 2000, "prefix samples per decision")
 	backend := flag.String("backend", "sw", "classification backend: sw, hw, or gpu")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the sw backend's batch path")
 	stream := flag.Bool("stream", false, "replay reads through incremental sessions (sw backend)")
 	chunk := flag.Int("chunk", 400, "streaming chunk size in samples (~0.1 s of signal)")
+	pruneMargin := flag.Int("prune-margin", -1, "panel stream cross-target prune margin in cost units/sample (< 0 disables)")
 	flag.Parse()
-	if *dataPath == "" || *refPath == "" {
+	if *dataPath == "" || (*refPath == "" && *panelRefs == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -73,11 +89,10 @@ func main() {
 	if *stream && *chunk <= 0 {
 		log.Fatalf("-chunk must be positive, got %d", *chunk)
 	}
-
-	refText, err := os.ReadFile(*refPath)
-	if err != nil {
-		log.Fatal(err)
+	if *pruneMargin >= 0 && (*panelRefs == "" || !*stream) {
+		log.Fatalf("-prune-margin needs -panel with -stream (pruning acts at streaming stage boundaries)")
 	}
+
 	f, err := os.Open(*dataPath)
 	if err != nil {
 		log.Fatal(err)
@@ -89,6 +104,16 @@ func main() {
 	}
 	if len(reads) == 0 {
 		log.Fatalf("dataset %s contains no reads", *dataPath)
+	}
+
+	if *panelRefs != "" {
+		runPanel(reads, *panelRefs, *prefix, int32(*threshold), *stream, *chunk, *pruneMargin)
+		return
+	}
+
+	refText, err := os.ReadFile(*refPath)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	det, err := squigglefilter.NewDetector(squigglefilter.DetectorConfig{
@@ -193,4 +218,105 @@ func main() {
 	fmt.Printf("%s (mean decision at %.0f bases)\n", sum, float64(consumed)/float64(len(reads))/readuntil.SamplesPerBase)
 	fmt.Printf("classify-only: %v (%.0f samples/sec, %d workers)\n",
 		elapsed.Round(time.Millisecond), float64(consumed)/elapsed.Seconds(), poolSize)
+}
+
+// runPanel classifies the dataset against several references at once,
+// one-shot (ClassifyBatch) or streamed through PanelSessions with
+// optional cross-target pruning, and prints a per-target summary table.
+func runPanel(reads []*squiggle.Read, panelRefs string, prefix int, threshold int32, stream bool, chunk, pruneMargin int) {
+	if threshold == 0 {
+		threshold = int32(prefix) * squigglefilter.DefaultThresholdPerSample
+	}
+	var cfgs []squigglefilter.DetectorConfig
+	for _, path := range strings.Split(panelRefs, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		text, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		cfgs = append(cfgs, squigglefilter.DetectorConfig{
+			Name:     name,
+			Sequence: strings.TrimSpace(string(text)),
+			Stages:   []squigglefilter.Stage{{PrefixSamples: prefix, Threshold: threshold}},
+		})
+	}
+	panel, err := squigglefilter.NewPanel(cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := panel.Targets()
+	prune := squigglefilter.PrunePolicy{Enabled: pruneMargin >= 0, MarginPerSample: pruneMargin}
+
+	samples := make([][]int16, len(reads))
+	for i, r := range reads {
+		samples[i] = r.Samples
+	}
+
+	var cm metrics.Confusion
+	attributed := make([]int64, len(names))
+	rejects := make([]int64, len(names))
+	pruned := make([]int64, len(names))
+	dpSamples := make([]int64, len(names))
+	var rejected, undecided int64
+	mode := "panel/batch"
+	tally := func(i int, v squigglefilter.PanelVerdict) {
+		cm.Add(reads[i].Target, v.Best >= 0)
+		switch {
+		case v.Best >= 0:
+			attributed[v.Best]++
+		case v.Undecided:
+			undecided++
+		default:
+			rejected++
+		}
+		for ti, tv := range v.Verdicts {
+			dpSamples[ti] += int64(tv.SamplesUsed)
+			if tv.Decision == squigglefilter.Reject {
+				rejects[ti]++
+			}
+		}
+	}
+	start := time.Now()
+	if stream {
+		mode = "panel/stream"
+		for i, s := range samples {
+			sess, err := panel.NewSession(prune)
+			if err != nil {
+				log.Fatal(err)
+			}
+			v, _ := sess.Stream(s, chunk)
+			tally(i, v)
+			for ti, p := range sess.Pruned() {
+				if p {
+					pruned[ti]++
+				}
+			}
+		}
+	} else {
+		for i, v := range panel.ClassifyBatch(samples) {
+			tally(i, v)
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("panel of %d targets at prefix %d (threshold %d) on %s: %s\n",
+		len(names), prefix, threshold, mode, cm)
+	fmt.Printf("%-16s %10s %10s %10s %12s\n", "target", "attributed", "rejects", "pruned", "DP samples")
+	var totalDP int64
+	for ti, name := range names {
+		fmt.Printf("%-16s %10d %10d %10d %12d\n", name, attributed[ti], rejects[ti], pruned[ti], dpSamples[ti])
+		totalDP += dpSamples[ti]
+	}
+	fmt.Printf("%d reads: %d attributed, %d all-reject, %d undecided\n",
+		len(reads), len(reads)-int(rejected)-int(undecided), rejected, undecided)
+	if prune.Enabled {
+		fmt.Printf("pruning margin %d/sample: %.1f DP samples/read across the panel\n",
+			prune.MarginPerSample, float64(totalDP)/float64(len(reads)))
+	}
+	fmt.Printf("classify-only: %v (%.0f DP samples/sec)\n",
+		elapsed.Round(time.Millisecond), float64(totalDP)/elapsed.Seconds())
 }

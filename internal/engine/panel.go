@@ -2,7 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"squigglefilter/internal/sdtw"
 )
@@ -19,6 +21,9 @@ type Target struct {
 // to naturally. It is safe for concurrent use.
 type Panel struct {
 	targets []Target
+	// workers bounds the goroutines any one Classify/ClassifyBatch call
+	// fans targets across; a single-target panel runs inline with none.
+	workers int
 }
 
 // NewPanel builds a panel over at least one target.
@@ -31,7 +36,11 @@ func NewPanel(targets []Target) (*Panel, error) {
 			return nil, fmt.Errorf("engine: panel target %d (%q) has no pipeline", i, t.Name)
 		}
 	}
-	return &Panel{targets: targets}, nil
+	workers := len(targets)
+	if n := runtime.NumCPU(); workers > n {
+		workers = n
+	}
+	return &Panel{targets: targets, workers: workers}, nil
 }
 
 // Targets returns the panel's target names in order.
@@ -45,68 +54,115 @@ func (p *Panel) Targets() []string {
 
 // PanelResult is the outcome of classifying one read against every target.
 type PanelResult struct {
-	// Best indexes the accepting target with the lowest per-sample cost,
-	// or -1 when every target rejected the read (schedules may use
-	// different prefix lengths, so costs are compared per sample consumed).
+	// Best indexes the accepting target with the exact lowest per-sample
+	// cost (schedules may use different prefix lengths, so costs are
+	// compared per sample consumed). Best is -1 when no target accepted:
+	// either every target rejected the read, or — when Undecided is true —
+	// at least one target has not decided yet (its verdict is Continue).
 	Best int
+	// Undecided reports that no target accepted and at least one target's
+	// verdict is still Continue: the read is not attributable yet, which
+	// is a different outcome from every target rejecting it.
+	Undecided bool
 	// PerTarget holds each target's result, in panel order.
 	PerTarget []Result
 }
 
-// Classify runs one read against every target concurrently.
-func (p *Panel) Classify(samples []int16) PanelResult {
-	pr := PanelResult{PerTarget: make([]Result, len(p.targets))}
-	var wg sync.WaitGroup
-	for ti := range p.targets {
-		wg.Add(1)
-		go func(ti int) {
-			defer wg.Done()
-			pr.PerTarget[ti] = p.targets[ti].Pipeline.Classify(samples)
-		}(ti)
+// panelResult assembles the ranking and the Undecided flag from per-target
+// results — the single constructor both the one-shot and the session paths
+// share, which keeps their outcomes comparable bit for bit.
+func panelResult(per []Result) PanelResult {
+	pr := PanelResult{Best: bestTarget(per), PerTarget: per}
+	if pr.Best < 0 {
+		for _, r := range per {
+			if r.Decision == sdtw.Continue {
+				pr.Undecided = true
+				break
+			}
+		}
 	}
-	wg.Wait()
-	pr.Best = bestTarget(pr.PerTarget)
 	return pr
 }
 
-// ClassifyBatch runs a batch of reads against every target, each target
-// using its own pipeline's worker pool, returning per-read results in
-// input order.
-func (p *Panel) ClassifyBatch(reads [][]int16) []PanelResult {
-	per := make([][]Result, len(p.targets))
+// runTargets fans fn over every target index using at most p.workers
+// goroutines — a bounded worker set instead of a goroutine per target,
+// and no goroutine at all for a single-target panel.
+func (p *Panel) runTargets(fn func(ti int)) {
+	if len(p.targets) == 1 {
+		fn(0)
+		return
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for ti := range p.targets {
+	for w := 0; w < p.workers; w++ {
 		wg.Add(1)
-		go func(ti int) {
+		go func() {
 			defer wg.Done()
-			per[ti] = p.targets[ti].Pipeline.ClassifyBatch(reads)
-		}(ti)
+			for {
+				ti := int(next.Add(1)) - 1
+				if ti >= len(p.targets) {
+					return
+				}
+				fn(ti)
+			}
+		}()
 	}
 	wg.Wait()
+}
+
+// Classify runs one read against every target, fanning multi-target
+// panels across the bounded worker set; a single-target panel classifies
+// inline on the caller's goroutine.
+func (p *Panel) Classify(samples []int16) PanelResult {
+	per := make([]Result, len(p.targets))
+	p.runTargets(func(ti int) {
+		per[ti] = p.targets[ti].Pipeline.Classify(samples)
+	})
+	return panelResult(per)
+}
+
+// ClassifyBatch runs a batch of reads against every target, each target
+// sharding the batch across its own pipeline's worker pool, returning
+// per-read results in input order. Targets are scheduled over the panel's
+// bounded worker set (single-target panels run inline).
+func (p *Panel) ClassifyBatch(reads [][]int16) []PanelResult {
+	per := make([][]Result, len(p.targets))
+	p.runTargets(func(ti int) {
+		per[ti] = p.targets[ti].Pipeline.ClassifyBatch(reads)
+	})
 	out := make([]PanelResult, len(reads))
 	for i := range reads {
-		pr := PanelResult{PerTarget: make([]Result, len(p.targets))}
+		row := make([]Result, len(p.targets))
 		for ti := range p.targets {
-			pr.PerTarget[ti] = per[ti][i]
+			row[ti] = per[ti][i]
 		}
-		pr.Best = bestTarget(pr.PerTarget)
-		out[i] = pr
+		out[i] = panelResult(row)
 	}
 	return out
 }
 
-// bestTarget picks the accepting result with the lowest cost per sample
-// consumed; ties keep the earliest target.
+// bestTarget picks the accepting result with the exact lowest cost per
+// sample consumed; ties keep the earliest target. Returns -1 when nothing
+// accepted.
 func bestTarget(results []Result) int {
-	best, bestRate := -1, 0.0
+	best := -1
 	for i, r := range results {
-		if r.Decision != sdtw.Accept {
+		if r.Decision != sdtw.Accept || r.SamplesUsed <= 0 {
 			continue
 		}
-		rate := float64(r.Cost) / float64(r.SamplesUsed)
-		if best == -1 || rate < bestRate {
-			best, bestRate = i, rate
+		if best == -1 || lessRate(r, results[best]) {
+			best = i
 		}
 	}
 	return best
+}
+
+// lessRate reports Cost_a/Used_a < Cost_b/Used_b by integer
+// cross-multiplication — exact where the float64 quotient rounds away
+// differences below ~1e-16 relative, so cross-schedule ranking is
+// deterministic. Used is positive for any accepted result, which keeps
+// the inequality direction; Cost is int32 and Used a sample count, so the
+// int64 products cannot overflow (|product| < 2^31 * 2^32).
+func lessRate(a, b Result) bool {
+	return int64(a.Cost)*int64(b.SamplesUsed) < int64(b.Cost)*int64(a.SamplesUsed)
 }

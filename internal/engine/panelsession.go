@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"squigglefilter/internal/sdtw"
+)
+
+// PrunePolicy configures cross-target pruning in a PanelSession.
+//
+// Targets that Reject stop consuming DP work unconditionally — that is
+// the per-target session contract, not a policy choice. The policy
+// governs the lossy half: once some target has Accepted (the decided
+// leader), still-undecided targets whose observed per-sample cost trails
+// the leader's by more than MarginPerSample are abandoned, so an N-target
+// panel converges toward one target's DP cost for unambiguous reads. The
+// zero value disables leader pruning, which makes a streamed PanelSession
+// bit-identical to one-shot Panel.Classify (see DESIGN.md §5 for why).
+type PrunePolicy struct {
+	// Enabled turns leader-domination pruning on. Disabled (the zero
+	// value), the panel session is verdict-preserving: every target runs
+	// to its own decision exactly as Panel.Classify would drive it.
+	Enabled bool
+	// MarginPerSample is the per-sample cost slack (in the same
+	// fixed-point units as sdtw costs) an undecided target may trail the
+	// accepted leader before being pruned. 0 prunes anything strictly
+	// worse than the leader; larger values prune more conservatively.
+	// Must be non-negative when Enabled.
+	MarginPerSample int64
+}
+
+func (pp PrunePolicy) validate() error {
+	if pp.Enabled && pp.MarginPerSample < 0 {
+		return fmt.Errorf("engine: prune margin must be non-negative, got %d", pp.MarginPerSample)
+	}
+	return nil
+}
+
+// PanelSession is the incremental form of Panel.Classify: one read's raw
+// chunks fan into a per-target Session per panel target, each multiplexed
+// over its own pipeline's instance pool, and the panel verdict updates at
+// every delivery. Targets stop consuming DP work the moment they decide,
+// and — under an enabled PrunePolicy — the moment an accepted leader
+// dominates them, so the differential panel's marginal cost over a
+// single-target detector shrinks as reads become unambiguous.
+//
+// A PanelSession is single-read and single-goroutine, like the per-target
+// Sessions it wraps; any number of concurrent panel sessions may be open
+// at once (their DP work serializes on the target pipelines' instances).
+type PanelSession struct {
+	prune PrunePolicy
+	sess  []*Session
+	per   []Result // last known result per target
+	// stopped marks targets no longer fed: decided, or pruned. pruned
+	// additionally marks the subset the policy abandoned undecided.
+	stopped []bool
+	pruned  []bool
+	live    int
+	fed     int
+	done    bool
+}
+
+// NewSession starts an incremental classification of one read against
+// every target. It errors when a target's pipeline cannot host sessions
+// (back-ends this package did not build) or the prune policy is invalid.
+func (p *Panel) NewSession(prune PrunePolicy) (*PanelSession, error) {
+	if err := prune.validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.targets)
+	ps := &PanelSession{
+		prune:   prune,
+		sess:    make([]*Session, n),
+		per:     make([]Result, n),
+		stopped: make([]bool, n),
+		pruned:  make([]bool, n),
+		live:    n,
+	}
+	for i, t := range p.targets {
+		s, err := t.Pipeline.NewSession()
+		if err != nil {
+			for j := 0; j < i; j++ {
+				ps.sess[j].Abandon()
+			}
+			return nil, fmt.Errorf("engine: panel target %d (%q): %w", i, t.Name, err)
+		}
+		ps.sess[i] = s
+		ps.per[i] = Result{Decision: sdtw.Continue, EndPos: -1}
+	}
+	return ps, nil
+}
+
+// Feed delivers a chunk of raw samples to every still-live target and
+// returns the panel verdict so far plus whether the read is decided for
+// every target (each Accepted, Rejected, or was pruned). Once done,
+// further chunks are ignored and the decided result is returned
+// unchanged.
+func (ps *PanelSession) Feed(chunk []int16) (PanelResult, bool) {
+	done := ps.feed(chunk)
+	return ps.snapshot(), done
+}
+
+// feed is Feed without the snapshot — the hot path Stream drives, which
+// only needs the done signal per delivery.
+func (ps *PanelSession) feed(chunk []int16) bool {
+	if ps.done {
+		return true
+	}
+	ps.fed += len(chunk)
+	for i, s := range ps.sess {
+		if ps.stopped[i] {
+			continue
+		}
+		r, decided := s.Feed(chunk)
+		ps.per[i] = r
+		if decided {
+			ps.stopped[i] = true
+			ps.live--
+		}
+	}
+	ps.applyPruning()
+	ps.done = ps.live == 0
+	return ps.done
+}
+
+// applyPruning abandons live targets an accepted leader dominates beyond
+// the configured margin. A live target with no evaluated stage yet has no
+// observed rate and is never pruned.
+func (ps *PanelSession) applyPruning() {
+	if !ps.prune.Enabled || ps.live == 0 {
+		return
+	}
+	leader := bestTarget(ps.per)
+	if leader < 0 {
+		return
+	}
+	l := ps.per[leader]
+	for i := range ps.sess {
+		if ps.stopped[i] || ps.per[i].SamplesUsed <= 0 {
+			continue
+		}
+		if exceedsMargin(ps.per[i], l, ps.prune.MarginPerSample) {
+			ps.per[i] = ps.sess[i].Abandon()
+			ps.stopped[i] = true
+			ps.pruned[i] = true
+			ps.live--
+		}
+	}
+}
+
+// exceedsMargin reports rate(r) - rate(leader) > margin in exact integer
+// arithmetic: Cost_r/Used_r - Cost_l/Used_l > margin multiplied through
+// by the (positive) sample counts.
+func exceedsMargin(r, leader Result, margin int64) bool {
+	lhs := int64(r.Cost)*int64(leader.SamplesUsed) - int64(leader.Cost)*int64(r.SamplesUsed)
+	prod := int64(r.SamplesUsed) * int64(leader.SamplesUsed)
+	if margin > 0 && prod > math.MaxInt64/margin {
+		// A margin this wide can never be exceeded by int32 costs; treat
+		// it as "never prune" instead of overflowing the comparison.
+		return false
+	}
+	return lhs > margin*prod
+}
+
+// Finalize signals that the read ended: every live target decides on its
+// buffered signal exactly as a single-target Session.Finalize would, and
+// the final panel verdict is returned. Pruned targets keep the result
+// they were abandoned with. Finalize is idempotent.
+func (ps *PanelSession) Finalize() PanelResult {
+	if ps.done {
+		return ps.snapshot()
+	}
+	for i, s := range ps.sess {
+		if ps.stopped[i] {
+			continue
+		}
+		ps.per[i] = s.Finalize()
+		ps.stopped[i] = true
+		ps.live--
+	}
+	ps.done = true
+	return ps.snapshot()
+}
+
+// Stream feeds a read's signal in chunkSamples-sized deliveries (<= 0
+// feeds everything at once), stopping once every target is decided or
+// pruned, then finalizes. The returned bool reports whether the panel
+// decided before the signal ended — the only case a live loop can still
+// act on with an ejection.
+func (ps *PanelSession) Stream(samples []int16, chunkSamples int) (PanelResult, bool) {
+	if chunkSamples <= 0 {
+		chunkSamples = len(samples)
+	}
+	done := false
+	for off := 0; off < len(samples) && !done; off += chunkSamples {
+		end := off + chunkSamples
+		if end > len(samples) {
+			end = len(samples)
+		}
+		done = ps.feed(samples[off:end])
+	}
+	return ps.Finalize(), done
+}
+
+// Decided reports whether every target has decided or been pruned.
+func (ps *PanelSession) Decided() bool { return ps.done }
+
+// SamplesFed returns the raw samples delivered to the panel so far — the
+// read prefix a live loop has paid for when the verdict lands.
+func (ps *PanelSession) SamplesFed() int { return ps.fed }
+
+// Pruned reports, per target, whether the pruning policy abandoned it
+// undecided. The slice is a copy in panel order.
+func (ps *PanelSession) Pruned() []bool {
+	out := make([]bool, len(ps.pruned))
+	copy(out, ps.pruned)
+	return out
+}
+
+// DPSamples returns the total raw samples that actually entered DP across
+// all targets — the work metric cross-target pruning exists to shrink
+// (without pruning it approaches len(targets) × the samples each
+// schedule consumes).
+func (ps *PanelSession) DPSamples() int64 {
+	var n int64
+	for _, r := range ps.per {
+		n += int64(r.SamplesUsed)
+	}
+	return n
+}
+
+// snapshot assembles the current PanelResult from per-target state via
+// the same constructor the one-shot path uses.
+func (ps *PanelSession) snapshot() PanelResult {
+	per := make([]Result, len(ps.per))
+	copy(per, ps.per)
+	return panelResult(per)
+}

@@ -158,6 +158,22 @@ func (s *Session) Stream(samples []int16, chunkSamples int) (Result, bool) {
 // (its verdict is Continue).
 func (s *Session) Decided() bool { return s.res.Decision != sdtw.Continue }
 
+// Abandon stops the session without deciding it: the DP row is released,
+// buffered signal is dropped, and the verdict stays whatever the last
+// evaluated stage reported (Continue when no boundary decided). Further
+// Feed calls are ignored and Finalize returns the abandoned result
+// unchanged. A PanelSession abandons targets its pruning policy has ruled
+// out; a live loop may abandon a read it has lost interest in (the pore
+// keeps sequencing, the accelerator just stops paying DP for it).
+// Abandon is idempotent and safe to interleave with Finalize — the row is
+// released exactly once either way.
+func (s *Session) Abandon() Result {
+	if !s.done {
+		s.finish()
+	}
+	return s.res
+}
+
 // SamplesBuffered returns the raw samples parked awaiting the next stage
 // boundary (diagnostics for schedulers).
 func (s *Session) SamplesBuffered() int { return len(s.buf) }

@@ -255,6 +255,156 @@ func TestPipelineSessionScheduler(t *testing.T) {
 	}
 }
 
+// instrumentedSession builds a Session over the software kernel whose
+// release callback counts invocations — the fixture for the
+// exactly-one-release lifecycle tests.
+func instrumentedSession(t *testing.T, ref []int8, stages []sdtw.Stage, releases *int) *Session {
+	t.Helper()
+	sw, err := NewSoftware(ref, sdtw.DefaultIntConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sw.(*stager)
+	row := sdtw.NewRow(st.k.refLen())
+	return newSession(stages, row, st.k.extend, func(*sdtw.Row) { *releases++ })
+}
+
+// TestSessionLeftoverPastLastStage: a chunk that crosses the last stage
+// boundary decides there; trailing samples are ignored, later Feeds and
+// Finalizes return the decided result unchanged, and the DP row is
+// released exactly once.
+func TestSessionLeftoverPastLastStage(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	ref := randomRef(rng, 1200)
+	stages := []sdtw.Stage{{PrefixSamples: 500, Threshold: 1 << 30}}
+	releases := 0
+	sess := instrumentedSession(t, ref, stages, &releases)
+	read := randomRead(rng, 520)
+	res, done := sess.Feed(read)
+	if !done || res.Decision != sdtw.Accept || res.SamplesUsed != 500 {
+		t.Fatalf("crossing the last boundary: done=%v %+v, want Accept on 500 samples", done, res)
+	}
+	if sess.SamplesBuffered() != 0 {
+		t.Errorf("decided session still buffers %d samples", sess.SamplesBuffered())
+	}
+	if late, d := sess.Feed(randomRead(rng, 100)); !d || !reflect.DeepEqual(late, res) {
+		t.Error("Feed past the last stage changed the decided result")
+	}
+	if fin := sess.Finalize(); !reflect.DeepEqual(fin, res) {
+		t.Error("Finalize past the last stage changed the decided result")
+	}
+	sess.Finalize()
+	if releases != 1 {
+		t.Errorf("row released %d times, want exactly 1", releases)
+	}
+}
+
+// TestSessionFeedAfterFinalize: Finalize on buffered partial signal
+// decides the read; a Feed arriving afterwards is ignored and reports the
+// finalized result, with no second row release.
+func TestSessionFeedAfterFinalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	ref := randomRef(rng, 1200)
+	stages := []sdtw.Stage{{PrefixSamples: 500, Threshold: 1 << 30}}
+	releases := 0
+	sess := instrumentedSession(t, ref, stages, &releases)
+	if _, done := sess.Feed(randomRead(rng, 300)); done {
+		t.Fatal("decided before the boundary")
+	}
+	fin := sess.Finalize()
+	if fin.Decision == sdtw.Continue || fin.SamplesUsed != 300 {
+		t.Fatalf("Finalize on buffered partial stage = %+v, want a decision on 300 samples", fin)
+	}
+	res, done := sess.Feed(randomRead(rng, 400))
+	if !done || !reflect.DeepEqual(res, fin) {
+		t.Errorf("Feed after Finalize: done=%v, result drifted from %+v to %+v", done, fin, res)
+	}
+	if releases != 1 {
+		t.Errorf("row released %d times, want exactly 1", releases)
+	}
+}
+
+// TestSessionStreamEmptyRead locks in the zero-length-read Continue guard
+// on Stream, including for sessions obtained via Pipeline.NewSession: no
+// chunk reaches the normalizer, the verdict stays Continue, and the DP
+// row is released exactly once despite Stream's internal Finalize plus
+// any caller-side Finalize.
+func TestSessionStreamEmptyRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	ref := randomRef(rng, 1200)
+	stages := []sdtw.Stage{{PrefixSamples: 500, Threshold: 500 * 3}}
+	releases := 0
+	sess := instrumentedSession(t, ref, stages, &releases)
+	res, decided := sess.Stream(nil, 400)
+	if decided || res.Decision != sdtw.Continue || len(res.PerStage) != 0 {
+		t.Fatalf("empty Stream: decided=%v %+v, want undecided Continue", decided, res)
+	}
+	sess.Finalize()
+	if releases != 1 {
+		t.Errorf("row released %d times, want exactly 1", releases)
+	}
+
+	pipe, err := NewPipeline(func() (Backend, error) { return NewSoftware(ref, sdtw.DefaultIntConfig()) }, 1, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := pipe.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, pdecided := ps.Stream(nil, 400)
+	if pdecided || pres.Decision != sdtw.Continue || ps.Decided() {
+		t.Fatalf("pipeline empty Stream: decided=%v %+v", pdecided, pres)
+	}
+	if ps.row != nil {
+		t.Error("pipeline session row not returned to the pool after Stream's Finalize")
+	}
+	if fin := ps.Finalize(); !reflect.DeepEqual(fin, pres) {
+		t.Error("second Finalize changed the empty-read result")
+	}
+	// The pool must still hand out distinct rows afterwards — a double
+	// release would alias two live sessions onto one row.
+	s1, _ := pipe.NewSession()
+	s2, _ := pipe.NewSession()
+	if s1.row == s2.row {
+		t.Error("two live sessions share a DP row after empty-read Finalize")
+	}
+}
+
+// TestSessionAbandon: abandoning an undecided session releases its row
+// exactly once, freezes its Continue result, and composes with Finalize
+// in either order.
+func TestSessionAbandon(t *testing.T) {
+	rng := rand.New(rand.NewSource(149))
+	ref := randomRef(rng, 1200)
+	stages := []sdtw.Stage{{PrefixSamples: 400, Threshold: 1 << 30}, {PrefixSamples: 1200, Threshold: 1 << 30}}
+	releases := 0
+	sess := instrumentedSession(t, ref, stages, &releases)
+	read := randomRead(rng, 600)
+	if _, done := sess.Feed(read); done {
+		t.Fatal("decided with accept-all mid-schedule")
+	}
+	res := sess.Abandon()
+	if res.Decision != sdtw.Continue || len(res.PerStage) != 1 {
+		t.Fatalf("abandoned result = %+v, want Continue with the stage-1 record", res)
+	}
+	if sess.Decided() {
+		t.Error("abandoned session reports Decided")
+	}
+	if late, done := sess.Feed(randomRead(rng, 800)); !done || !reflect.DeepEqual(late, res) {
+		t.Error("Feed after Abandon changed the result")
+	}
+	if fin := sess.Finalize(); !reflect.DeepEqual(fin, res) {
+		t.Error("Finalize after Abandon changed the result")
+	}
+	if again := sess.Abandon(); !reflect.DeepEqual(again, res) {
+		t.Error("second Abandon changed the result")
+	}
+	if releases != 1 {
+		t.Errorf("row released %d times, want exactly 1", releases)
+	}
+}
+
 // TestPipelineSessionValidation: sessions over foreign back-ends are
 // refused rather than silently degraded.
 func TestPipelineSessionValidation(t *testing.T) {

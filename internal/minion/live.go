@@ -31,7 +31,7 @@ const DefaultChunkSamples = 400
 func ReadPoolSource(reads []*squiggle.Read) ReadSource {
 	return func(rng *rand.Rand) ReadPlan {
 		r := reads[rng.Intn(len(reads))]
-		return ReadPlan{LengthBases: len(r.Bases), Target: r.Target, Samples: r.Samples}
+		return ReadPlan{LengthBases: len(r.Bases), Target: r.Target, Source: r.Source, Samples: r.Samples}
 	}
 }
 
@@ -46,7 +46,7 @@ func MixedPoolSource(targets, hosts []*squiggle.Read, viralFraction float64) Rea
 			pool = targets
 		}
 		r := pool[rng.Intn(len(pool))]
-		return ReadPlan{LengthBases: len(r.Bases), Target: r.Target, Samples: r.Samples}
+		return ReadPlan{LengthBases: len(r.Bases), Target: r.Target, Source: r.Source, Samples: r.Samples}
 	}
 }
 
@@ -65,9 +65,11 @@ func SessionClassifier(pipe *engine.Pipeline, cfg Config, latencySec float64, ch
 	if chunkSamples <= 0 {
 		chunkSamples = DefaultChunkSamples
 	}
-	if _, err := pipe.NewSession(); err != nil {
+	probe, err := pipe.NewSession()
+	if err != nil {
 		return nil, fmt.Errorf("minion: %w", err)
 	}
+	probe.Finalize() // return the probe's DP row to its pool
 	spb := cfg.SamplesPerBase
 	if spb <= 0 {
 		return nil, fmt.Errorf("minion: SamplesPerBase must be positive for signal-level classification")

@@ -70,6 +70,9 @@ func (c Config) Validate() error {
 type ReadPlan struct {
 	LengthBases int
 	Target      bool
+	// Source optionally names the genome of origin (ground truth for
+	// per-target attribution accounting in panel mode; reports only).
+	Source string
 	// Samples optionally carries the read's raw 10-bit signal for
 	// signal-level classifiers (SessionClassifier streams it through a
 	// real engine Session); nil in statistical TPR/FPR mode.

@@ -1,0 +1,106 @@
+package squigglefilter
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"squigglefilter/internal/genome"
+)
+
+// panelFixture builds a two-target panel (the genome the reads came from
+// plus an unrelated decoy) and simulated reads from the first target.
+func panelFixture(t testing.TB, decoyStages []Stage) (*Panel, [][]int16) {
+	t.Helper()
+	_, g := testDetector(t, nil)
+	targets, _ := simReads(t, g, 4)
+	decoy := genome.Random(rand.New(rand.NewSource(99)), 5000)
+	panel, err := NewPanel([]DetectorConfig{
+		{Name: "virus", Sequence: g.Seq.String()},
+		{Name: "decoy", Sequence: decoy.String(), Stages: decoyStages},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return panel, targets
+}
+
+// TestPanelSessionMatchesClassify: the public streaming path with pruning
+// disabled reproduces one-shot panel verdicts bit for bit, whatever the
+// chunking.
+func TestPanelSessionMatchesClassify(t *testing.T) {
+	panel, reads := panelFixture(t, nil)
+	rng := rand.New(rand.NewSource(5))
+	for i, r := range reads {
+		want := panel.Classify(r)
+		sess, err := panel.NewSession(PrunePolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := sess.Stream(r, 1+rng.Intn(700))
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("read %d: streamed panel verdict diverged:\ngot  %+v\nwant %+v", i, got, want)
+		}
+		v2, _, err := panel.Stream(r, 400, PrunePolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(v2, want) {
+			t.Errorf("read %d: Panel.Stream diverged from Classify", i)
+		}
+	}
+}
+
+// TestPanelSessionPruningPublic: with the decoy on a longer
+// accept-anything schedule, enabling pruning abandons it once the true
+// target accepts, cutting DP work without changing the attribution.
+func TestPanelSessionPruningPublic(t *testing.T) {
+	decoyStages := []Stage{
+		{PrefixSamples: 1000, Threshold: 1 << 30},
+		{PrefixSamples: 6000, Threshold: 1 << 30},
+	}
+	panel, reads := panelFixture(t, decoyStages)
+	prunedWins, saved := 0, int64(0)
+	for _, r := range reads {
+		base, err := panel.NewSession(PrunePolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bv, _ := base.Stream(r, 400)
+		pruned, err := panel.NewSession(PrunePolicy{Enabled: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pv, _ := pruned.Stream(r, 400)
+		if bv.Best != pv.Best {
+			t.Errorf("pruning changed attribution: %q vs %q", pv.Target, bv.Target)
+		}
+		if pv.Best == 0 && pruned.Pruned()[1] {
+			prunedWins++
+		}
+		saved += base.DPSamples() - pruned.DPSamples()
+	}
+	if prunedWins == 0 {
+		t.Error("pruning never abandoned the dominated decoy on any viral read")
+	}
+	if saved <= 0 {
+		t.Errorf("pruning saved %d DP samples, want > 0", saved)
+	}
+}
+
+// TestPanelVerdictUndecided: the public flag distinguishes "no signal
+// yet" from "every target rejected".
+func TestPanelVerdictUndecided(t *testing.T) {
+	panel, reads := panelFixture(t, nil)
+	empty := panel.Classify(nil)
+	if empty.Best != -1 || !empty.Undecided || empty.Target != "" {
+		t.Errorf("zero-length read: %+v, want Best -1, Undecided, no target", empty)
+	}
+	decided := panel.Classify(reads[0])
+	if decided.Undecided {
+		t.Errorf("decided read flagged Undecided: %+v", decided)
+	}
+	if _, err := panel.NewSession(PrunePolicy{Enabled: true, MarginPerSample: -3}); err == nil {
+		t.Error("negative prune margin accepted")
+	}
+}
