@@ -208,6 +208,46 @@ func BenchmarkPanelClassifySingle(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedClassify measures per-read classification latency
+// against shard count: one read at a time streams through a session whose
+// DP row wavefronts across the worker pool in reference shards. With
+// shards=1 the row extends serially, so per-read latency is flat no matter
+// how many workers idle; at shards=2/4 the same read's DP divides across
+// them (the speedup needs as many hardware threads — this container's CI
+// runner may report none). The ms/read metric is the per-read latency the
+// shard count is meant to shrink; samples/sec counts classified samples.
+// CI uploads the -json output as BENCH_kernel.json.
+func BenchmarkShardedClassify(b *testing.B) {
+	g := &genome.Genome{Name: "bench-bug", Seq: genome.Random(rand.New(rand.NewSource(1)), 20000)}
+	targets, hosts := simReads(b, g, 2)
+	reads := append(targets, hosts...)
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			det, err := NewDetector(DetectorConfig{
+				Name: g.Name, Sequence: g.Seq.String(), Workers: 4, Shards: shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var consumed int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				consumed = 0
+				for _, r := range reads {
+					sess := det.NewSession()
+					v, _ := sess.Stream(r, 0)
+					consumed += int64(v.SamplesUsed)
+				}
+			}
+			b.StopTimer()
+			perRead := b.Elapsed().Seconds() / float64(b.N*len(reads))
+			b.ReportMetric(perRead*1e3, "ms/read")
+			b.ReportMetric(float64(consumed)*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+			b.ReportMetric(float64(shards), "shards")
+		})
+	}
+}
+
 // BenchmarkSessionStream measures the incremental streaming path: every
 // read is fed to a fresh Session in 400-sample chunks (~0.1 s of signal
 // per delivery, the live Read Until granularity). The samples/sec metric

@@ -3,15 +3,22 @@
 // a decision summary, and classify-only throughput.
 //
 //	sfrun -data sample.sqgl -ref ref.txt [-threshold N] [-prefix 2000]
-//	      [-backend sw|hw|gpu] [-workers N] [-stream] [-chunk 400]
+//	      [-backend sw|hw|gpu] [-workers N] [-shards S] [-stream] [-chunk 400]
 //	sfrun -data sample.sqgl -panel refA.txt,refB.txt,... [-stream]
-//	      [-prune-margin M] [-threshold N] [-prefix 2000]
+//	      [-prune-margin M] [-threshold N] [-prefix 2000] [-shards S]
 //
 // Without -threshold, the threshold is calibrated on the dataset's ground
-// truth (best F1). The sw back-end shards the batch across -workers
-// software instances; hw and gpu run the cycle-accurate tile and the
-// calibrated GPU baseline, reporting their modeled per-read latency
-// (verdicts are bit-identical across back-ends).
+// truth (best F1). The worker pool schedules batch reads across -workers
+// instances of whichever back-end is selected; hw and gpu additionally
+// report their modeled per-read latency (verdicts are bit-identical
+// across back-ends).
+//
+// -shards splits the reference dimension of every classification into S
+// shards: the software paths wavefront one read's shards across the
+// worker pool (per-read latency, not just batch throughput), and the hw
+// back-end gangs up to 5 tiles cooperatively — which is also how
+// references beyond one tile's 100 KB buffer are classified at all.
+// Sharded verdicts are bit-identical to unsharded ones.
 //
 // -stream replays each read through an incremental Session in -chunk
 // sample deliveries, as a live Read Until loop would — decisions land the
@@ -74,7 +81,8 @@ func main() {
 	threshold := flag.Int("threshold", 0, "ejection threshold (0 = calibrate on ground truth; panel mode defaults to 3/sample)")
 	prefix := flag.Int("prefix", 2000, "prefix samples per decision")
 	backend := flag.String("backend", "sw", "classification backend: sw, hw, or gpu")
-	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the sw backend's batch path")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size batch reads (and each read's shards) are scheduled across, for any backend")
+	shards := flag.Int("shards", 1, "reference shards per read: intra-read parallelism on sw, cooperating tiles on hw (1 = unsharded)")
 	stream := flag.Bool("stream", false, "replay reads through incremental sessions (sw backend)")
 	chunk := flag.Int("chunk", 400, "streaming chunk size in samples (~0.1 s of signal)")
 	pruneMargin := flag.Int("prune-margin", -1, "panel stream cross-target prune margin in cost units/sample (< 0 disables)")
@@ -106,8 +114,12 @@ func main() {
 		log.Fatalf("dataset %s contains no reads", *dataPath)
 	}
 
+	if *shards < 1 {
+		log.Fatalf("-shards must be at least 1, got %d", *shards)
+	}
+
 	if *panelRefs != "" {
-		runPanel(reads, *panelRefs, *prefix, int32(*threshold), *stream, *chunk, *pruneMargin)
+		runPanel(reads, *panelRefs, *prefix, int32(*threshold), *stream, *chunk, *pruneMargin, *shards)
 		return
 	}
 
@@ -120,6 +132,7 @@ func main() {
 		Name:     "target",
 		Sequence: strings.TrimSpace(string(refText)),
 		Workers:  *workers,
+		Shards:   *shards,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -145,10 +158,14 @@ func main() {
 		Sequence: strings.TrimSpace(string(refText)),
 		Stages:   []squigglefilter.Stage{{PrefixSamples: *prefix, Threshold: th}},
 		Workers:  *workers,
+		Shards:   *shards,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The resolved configuration, so runs are reproducible from their logs.
+	fmt.Printf("config: backend=%s workers=%d shards=%d (reference %d samples)\n",
+		*backend, det2.Workers(), det2.Shards(), det2.ReferenceSamples())
 
 	samples := make([][]int16, len(reads))
 	for i, r := range reads {
@@ -223,7 +240,7 @@ func main() {
 // runPanel classifies the dataset against several references at once,
 // one-shot (ClassifyBatch) or streamed through PanelSessions with
 // optional cross-target pruning, and prints a per-target summary table.
-func runPanel(reads []*squiggle.Read, panelRefs string, prefix int, threshold int32, stream bool, chunk, pruneMargin int) {
+func runPanel(reads []*squiggle.Read, panelRefs string, prefix int, threshold int32, stream bool, chunk, pruneMargin, shards int) {
 	if threshold == 0 {
 		threshold = int32(prefix) * squigglefilter.DefaultThresholdPerSample
 	}
@@ -242,6 +259,7 @@ func runPanel(reads []*squiggle.Read, panelRefs string, prefix int, threshold in
 			Name:     name,
 			Sequence: strings.TrimSpace(string(text)),
 			Stages:   []squigglefilter.Stage{{PrefixSamples: prefix, Threshold: threshold}},
+			Shards:   shards,
 		})
 	}
 	panel, err := squigglefilter.NewPanel(cfgs)
@@ -249,6 +267,7 @@ func runPanel(reads []*squiggle.Read, panelRefs string, prefix int, threshold in
 		log.Fatal(err)
 	}
 	names := panel.Targets()
+	fmt.Printf("config: backend=sw targets=%d shards=%d\n", len(names), shards)
 	prune := squigglefilter.PrunePolicy{Enabled: pruneMargin >= 0, MarginPerSample: pruneMargin}
 
 	samples := make([][]int16, len(reads))

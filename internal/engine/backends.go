@@ -19,6 +19,25 @@ func NewSoftware(ref []int8, cfg sdtw.IntConfig) (Backend, error) {
 	return newStager(&swKernel{ref: ref, cfg: cfg}), nil
 }
 
+// NewSoftwareSharded is NewSoftware with the serial cache-blocked sharded
+// execution path: every chunk extends the DP row one reference shard at a
+// time (width ceil(len(ref)/shards)), halos chaining between neighbours,
+// so a shard's working set stays cache-resident for the whole chunk.
+// Verdicts, costs, and rows are bit-identical to NewSoftware by
+// construction. shards <= 1 (or a single resulting shard) selects the
+// plain path. For intra-read *parallelism* over shards, configure the
+// sharing at the pipeline instead (Pipeline.SetShards).
+func NewSoftwareSharded(ref []int8, cfg sdtw.IntConfig, shards int) (Backend, error) {
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("engine: empty reference")
+	}
+	s := newStager(&swKernel{ref: ref, cfg: cfg})
+	if width := sdtw.ShardWidth(len(ref), shards); width < len(ref) {
+		s.shardWidth = width
+	}
+	return s, nil
+}
+
 type swKernel struct {
 	ref []int8
 	cfg sdtw.IntConfig
@@ -31,6 +50,10 @@ func (k *swKernel) extend(row *sdtw.Row, chunk []int8, _ *Stats) sdtw.IntResult 
 	return sdtw.Extend(row, chunk, k.ref, k.cfg)
 }
 
+func (k *swKernel) extendShard(shard *sdtw.Row, lo int, chunk []int8, haloIn, haloOut *sdtw.Halo, _ *Stats) sdtw.IntResult {
+	return sdtw.ExtendShard(shard, chunk, k.ref[lo:lo+shard.Len()], k.cfg, haloIn, haloOut)
+}
+
 // NewHardware returns the cycle-accurate systolic-tile back-end. Costs and
 // decisions are bit-identical to the software back-end; Stats additionally
 // reports array cycles (including the normalizer's two passes per chunk),
@@ -38,24 +61,53 @@ func (k *swKernel) extend(row *sdtw.Row, chunk []int8, _ *Stats) sdtw.IntResult 
 //
 // One hardware back-end models one tile and classifies one read at a time —
 // it is NOT safe for concurrent use. Run several instances through a
-// Pipeline to model the device's independent tiles.
+// Pipeline to model the device's independent tiles. The reference must fit
+// one tile's 100 KB buffer; NewHardwareTiles gangs tiles cooperatively for
+// longer references.
 func NewHardware(ref []int8, cfg sdtw.IntConfig) (Backend, error) {
 	tile, err := hw.NewTile(ref, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return newStager(&hwKernel{tile: tile}), nil
+	return newStager(&hwKernel{dev: tile}), nil
+}
+
+// NewHardwareTiles returns the hardware back-end over a multi-tile
+// cooperative group (hw.TileGroup): the reference is sharded across up to
+// hw.NumTiles tiles, lifting the single-tile 100 KB ceiling to
+// NumTiles x RefBufferBytes at the cost of inter-tile halo DRAM traffic
+// (reported in Stats.DRAMBytes). tiles <= 0 auto-sizes to the smallest
+// count that holds the reference; a reference that fits one tile with
+// tiles <= 1 degrades to the plain single-tile back-end. Like NewHardware,
+// the back-end is NOT safe for concurrent use.
+func NewHardwareTiles(ref []int8, cfg sdtw.IntConfig, tiles int) (Backend, error) {
+	if tiles <= 1 && len(ref) <= hw.RefBufferBytes {
+		return NewHardware(ref, cfg)
+	}
+	g, err := hw.NewTileGroup(ref, cfg, tiles)
+	if err != nil {
+		return nil, err
+	}
+	return newStager(&hwKernel{dev: g}), nil
+}
+
+// tileDevice is the cycle-accurate device a hardware kernel drives: one
+// systolic tile or a cooperating TileGroup — same extension contract,
+// same CycleStats.
+type tileDevice interface {
+	RefLen() int
+	ExtendRow(query []int8, row *sdtw.Row, threshold int32, useThreshold bool) (sdtw.IntResult, hw.CycleStats)
 }
 
 type hwKernel struct {
-	tile *hw.Tile
+	dev tileDevice
 }
 
 func (k *hwKernel) name() string { return "hw" }
-func (k *hwKernel) refLen() int  { return k.tile.RefLen() }
+func (k *hwKernel) refLen() int  { return k.dev.RefLen() }
 
 func (k *hwKernel) extend(row *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult {
-	res, cs := k.tile.ExtendRow(chunk, row, 0, false)
+	res, cs := k.dev.ExtendRow(chunk, row, 0, false)
 	// The normalizer front-end processes each chunk before the array sees
 	// it; its structural model (hw.Normalizer) owns the cycle cost.
 	st.Cycles += cs.Cycles + hw.NormCycles(len(chunk))

@@ -102,18 +102,51 @@ type kernel interface {
 	extend(row *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult
 }
 
+// shardKernel is a kernel whose reference dimension can be partitioned:
+// extendShard extends one reference shard independently of the columns to
+// its right, given the left neighbour's halo trace — legal because the
+// hardware recurrence has no intra-row dependency (internal/sdtw). The
+// software kernel implements it; the hardware kernel shards inside the
+// device instead (hw.TileGroup via NewHardwareTiles), and the GPU kernel
+// models whole-kernel launches, so neither needs to.
+type shardKernel interface {
+	kernel
+	// extendShard consumes one normalized chunk for the shard whose first
+	// reference column is lo, updating the shard view in place. haloIn and
+	// haloOut are as in sdtw.ExtendShard. Implementations must be safe for
+	// concurrent calls on disjoint shards — the pipeline's wavefront
+	// scheduler relies on it.
+	extendShard(shard *sdtw.Row, lo int, chunk []int8, haloIn, haloOut *sdtw.Halo, st *Stats) sdtw.IntResult
+}
+
 // stager implements Backend over a kernel: the single normalization and
 // staging policy, with sync.Pool-reused DP rows so the hot loop does not
 // allocate per read.
 type stager struct {
-	k    kernel
-	pool sync.Pool
+	k kernel
+	// shardWidth, when positive, selects the serial cache-blocked sharded
+	// execution path (NewSoftwareSharded): each chunk walks the row one
+	// shard at a time, halos chaining between neighbours. Results are
+	// bit-identical to the plain path by construction.
+	shardWidth int
+	pool       sync.Pool
 }
 
 func newStager(k kernel) *stager {
 	s := &stager{k: k}
 	s.pool.New = func() any { return sdtw.NewRow(k.refLen()) }
 	return s
+}
+
+// extendSharded runs one chunk through every shard serially, left to
+// right: shard k consumes the whole chunk (its ~shard-sized working set
+// stays cache-resident) before shard k+1 starts from k's recorded halo
+// trace. The chaining loop itself lives in sdtw.ShardedRow.ExtendWith;
+// only the kernel dispatch is engine-specific.
+func extendSharded(sk shardKernel, sr *sdtw.ShardedRow, chunk []int8, st *Stats) sdtw.IntResult {
+	return sr.ExtendWith(len(chunk), func(_, lo int, shard *sdtw.Row, haloIn, haloOut *sdtw.Halo) sdtw.IntResult {
+		return sk.extendShard(shard, lo, chunk, haloIn, haloOut, st)
+	})
 }
 
 func (s *stager) Name() string { return s.k.name() }
@@ -124,7 +157,15 @@ func (s *stager) RefLen() int  { return s.k.refLen() }
 func (s *stager) newSession(stages []sdtw.Stage) *Session {
 	row := s.pool.Get().(*sdtw.Row)
 	row.Reset()
-	return newSession(stages, row, s.k.extend, func(r *sdtw.Row) { s.pool.Put(r) })
+	extend := s.k.extend
+	if s.shardWidth > 0 {
+		sk := s.k.(shardKernel)
+		sr := sdtw.ShardRow(row, s.shardWidth)
+		extend = func(_ *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult {
+			return extendSharded(sk, sr, chunk, st)
+		}
+	}
+	return newSession(stages, row, extend, func(r *sdtw.Row) { s.pool.Put(r) })
 }
 
 // NewSession starts an incremental classification of one read.

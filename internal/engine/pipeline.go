@@ -26,7 +26,21 @@ type Pipeline struct {
 	// borrow (the session parks its row like the hardware parks rows in
 	// DRAM between stages).
 	rows sync.Pool
+	// shardWidth > 0 selects the sharded execution path (SetShards): one
+	// read's DP row splits into reference shards and (shard, block) tasks
+	// wavefront across the instance pool — intra-read parallelism.
+	shardWidth int
+	shards     int
+	// halos recycles the boundary traces the wavefront exchanges.
+	halos sync.Pool
 }
+
+// shardBlockSamples is the wavefront granularity of the parallel sharded
+// path: each stage chunk is cut into blocks this long and (shard, block)
+// tasks form a software systolic pipeline — shard k computes block b while
+// shard k+1 computes block b-1 from k's recorded halo — so up to
+// min(shards, blocks) instances cooperate on one read.
+const shardBlockSamples = 512
 
 // NewPipeline builds instances back-ends via factory and programs them all
 // with the same stage schedule. instances <= 0 means 1.
@@ -55,10 +69,51 @@ func NewPipeline(factory func() (Backend, error), instances int, stages []sdtw.S
 		}
 		insts <- b
 	}
-	p := &Pipeline{stages: stages, insts: insts, n: instances, refLen: refLen, sessionable: sessionable}
+	p := &Pipeline{stages: stages, insts: insts, n: instances, refLen: refLen, sessionable: sessionable, shards: 1}
 	p.rows.New = func() any { return sdtw.NewRow(refLen) }
+	p.halos.New = func() any { return &sdtw.Halo{} }
 	return p, nil
 }
+
+// SetShards configures reference-sharded execution: every classification
+// splits its DP row into shards of width ceil(RefLen/shards) and schedules
+// one read's (shard, block) tasks across the instance pool as a wavefront,
+// so per-read latency shrinks with the shard count instead of only batch
+// throughput scaling with it. shards <= 1 restores the unsharded path.
+//
+// It errors when the pipeline's back-ends cannot extend reference shards —
+// only the engine-built software back-end can; the hardware model shards
+// across tiles inside the device instead (NewHardwareTiles). Configure
+// once before classifying; SetShards is not safe to call concurrently with
+// classification. Sharded and unsharded verdicts are bit-identical by
+// construction (property-tested in shard_test.go).
+func (p *Pipeline) SetShards(shards int) error {
+	if shards <= 1 {
+		p.shards, p.shardWidth = 1, 0
+		return nil
+	}
+	if !p.sessionable {
+		return fmt.Errorf("engine: pipeline back-ends do not support incremental sessions")
+	}
+	// Every instance comes from the same factory; inspecting one suffices.
+	b := <-p.insts
+	_, ok := b.(*stager).k.(shardKernel)
+	p.insts <- b
+	if !ok {
+		return fmt.Errorf("engine: %s back-end cannot extend reference shards (hw shards across tiles via NewHardwareTiles instead)", b.Name())
+	}
+	width := sdtw.ShardWidth(p.refLen, shards)
+	if width >= p.refLen {
+		p.shards, p.shardWidth = 1, 0
+		return nil
+	}
+	p.shards = (p.refLen + width - 1) / width
+	p.shardWidth = width
+	return nil
+}
+
+// Shards returns the configured reference shard count (1 when unsharded).
+func (p *Pipeline) Shards() int { return p.shards }
 
 // Workers returns the number of back-end instances.
 func (p *Pipeline) Workers() int { return p.n }
@@ -94,11 +149,99 @@ func (p *Pipeline) NewSession() (*Session, error) {
 		defer func() { p.insts <- b }()
 		return b.(*stager).k.extend(row, chunk, st)
 	}
+	if p.shardWidth > 0 {
+		extend = p.shardedExtend(sdtw.ShardRow(row, p.shardWidth))
+	}
 	return newSession(p.stages, row, extend, func(r *sdtw.Row) { p.rows.Put(r) }), nil
 }
 
-// Classify classifies one read on a borrowed instance.
+// shardedExtend builds a session extend hook that schedules one chunk's
+// (shard, block) wavefront across the instance pool. Each shard runs in
+// its own goroutine, consuming its left neighbour's halo trace per block
+// and producing its own; an instance is borrowed only for the duration of
+// one block's DP, never while waiting on a halo, so any mix of sharded and
+// unsharded work can share the pool without deadlock.
+func (p *Pipeline) shardedExtend(sr *sdtw.ShardedRow) func(*sdtw.Row, []int8, *Stats) sdtw.IntResult {
+	return func(_ *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult {
+		S := sr.NumShards()
+		nb := (len(chunk) + shardBlockSamples - 1) / shardBlockSamples
+		if nb == 0 {
+			// Defensive: the session never feeds an empty stage chunk.
+			nb = 1
+		}
+		// Buffered boundary channels let a fast left shard run ahead
+		// through every block without blocking on its right neighbour.
+		bounds := make([]chan *sdtw.Halo, S-1)
+		for i := range bounds {
+			bounds[i] = make(chan *sdtw.Halo, nb)
+		}
+		results := make([]sdtw.IntResult, S)
+		perShard := make([]Stats, S)
+		var wg sync.WaitGroup
+		for k := 0; k < S; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				shard := sr.Shard(k)
+				lo, _ := sr.Bounds(k)
+				for b := 0; b < nb; b++ {
+					blockLo := b * shardBlockSamples
+					blockHi := blockLo + shardBlockSamples
+					if blockHi > len(chunk) {
+						blockHi = len(chunk)
+					}
+					block := chunk[blockLo:blockHi]
+					var in *sdtw.Halo
+					if k > 0 {
+						in = <-bounds[k-1]
+					}
+					var out *sdtw.Halo
+					if k < S-1 {
+						out = p.halos.Get().(*sdtw.Halo)
+					}
+					inst := <-p.insts
+					r := inst.(*stager).k.(shardKernel).extendShard(shard, lo, block, in, out, &perShard[k])
+					p.insts <- inst
+					if in != nil {
+						p.halos.Put(in)
+					}
+					if k < S-1 {
+						bounds[k] <- out
+					}
+					if b == nb-1 {
+						results[k] = r
+					}
+				}
+			}(k)
+		}
+		wg.Wait()
+		best := sdtw.IntResult{EndPos: -1}
+		for k := 0; k < S; k++ {
+			lo, _ := sr.Bounds(k)
+			best = sdtw.MergeShardResult(best, results[k], lo)
+			st.Cycles += perShard[k].Cycles
+			st.DRAMBytes += perShard[k].DRAMBytes
+			st.Latency += perShard[k].Latency
+		}
+		sr.Row().Samples += len(chunk)
+		return best
+	}
+}
+
+// Classify classifies one read on a borrowed instance; with SetShards
+// configured, the read's shards wavefront across the pool instead, so even
+// a single classification uses every idle instance.
 func (p *Pipeline) Classify(samples []int16) Result {
+	if p.shardWidth > 0 {
+		sess, err := p.NewSession()
+		if err != nil {
+			// Unreachable: SetShards only enables sharding on sessionable
+			// engine-built back-ends.
+			panic("engine: " + err.Error())
+		}
+		sess.Feed(samples)
+		return sess.Finalize()
+	}
 	b := <-p.insts
 	res := b.Classify(samples, p.stages)
 	p.insts <- b
@@ -106,12 +249,42 @@ func (p *Pipeline) Classify(samples []int16) Result {
 }
 
 // ClassifyBatch classifies a batch of reads concurrently across the
-// instance pool, returning results in input order.
+// instance pool, returning results in input order. With SetShards
+// configured, each read additionally wavefronts its shards across the
+// pool, so small batches still keep every instance busy.
 func (p *Pipeline) ClassifyBatch(reads [][]int16) []Result {
 	out := make([]Result, len(reads))
 	workers := p.n
 	if workers > len(reads) {
 		workers = len(reads)
+	}
+	if p.shardWidth > 0 {
+		// Sharded classifications borrow instances per (shard, block) task
+		// inside Classify; the read-level workers here must therefore not
+		// hold instances of their own, or a 1-instance pool would deadlock.
+		if workers <= 1 {
+			for i, r := range reads {
+				out[i] = p.Classify(r)
+			}
+			return out
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(reads) {
+						return
+					}
+					out[i] = p.Classify(reads[i])
+				}
+			}()
+		}
+		wg.Wait()
+		return out
 	}
 	if workers <= 1 {
 		b := <-p.insts
@@ -165,6 +338,14 @@ func (p *Pipeline) ClassifyStream(in <-chan Job, out chan<- StreamResult) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if p.shardWidth > 0 {
+				// Sharded reads borrow instances per block inside
+				// Classify; holding one here would deadlock a small pool.
+				for j := range in {
+					out <- StreamResult{ID: j.ID, Result: p.Classify(j.Samples)}
+				}
+				return
+			}
 			b := <-p.insts
 			defer func() { p.insts <- b }()
 			for j := range in {

@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"squigglefilter/internal/hw"
+	"squigglefilter/internal/sdtw"
+)
+
+// randStages builds a random 1-3 stage schedule.
+func randStages(rng *rand.Rand) []sdtw.Stage {
+	stages := make([]sdtw.Stage, 1+rng.Intn(3))
+	prefix := 0
+	for i := range stages {
+		prefix += 200 + rng.Intn(900)
+		stages[i] = sdtw.Stage{PrefixSamples: prefix, Threshold: int32(rng.Intn(prefix * 6))}
+	}
+	return stages
+}
+
+func requireResultEqual(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if got.Decision != want.Decision || got.Cost != want.Cost ||
+		got.EndPos != want.EndPos || got.SamplesUsed != want.SamplesUsed {
+		t.Fatalf("%s diverged: got {%v cost=%d end=%d used=%d}, want {%v cost=%d end=%d used=%d}",
+			label, got.Decision, got.Cost, got.EndPos, got.SamplesUsed,
+			want.Decision, want.Cost, want.EndPos, want.SamplesUsed)
+	}
+	if !reflect.DeepEqual(got.PerStage, want.PerStage) {
+		t.Fatalf("%s per-stage records diverged:\ngot  %+v\nwant %+v", label, got.PerStage, want.PerStage)
+	}
+}
+
+// TestShardedPipelineParity is the engine's sharding acceptance property:
+// over random schedules, reads, shard counts (including shards beyond the
+// reference length), and random streaming chunkings, the sharded pipeline
+// path — one-shot, batch, and incremental sessions — is bit-identical to
+// the unsharded software back-end.
+func TestShardedPipelineParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	cfg := sdtw.DefaultIntConfig()
+	ref := randomRef(rng, 2400)
+	plain, err := NewSoftware(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 12; trial++ {
+		stages := randStages(rng)
+		shards := []int{2, 3, 5, len(ref), len(ref) + 50}[rng.Intn(5)]
+		pipe, err := NewPipeline(func() (Backend, error) { return NewSoftware(ref, cfg) }, 3, stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pipe.SetShards(shards); err != nil {
+			t.Fatal(err)
+		}
+		reads := make([][]int16, 6)
+		for i := range reads {
+			reads[i] = randomRead(rng, 200+rng.Intn(3000))
+		}
+		want := make([]Result, len(reads))
+		for i, r := range reads {
+			want[i] = plain.Classify(r, stages)
+		}
+		for i, r := range reads {
+			requireResultEqual(t, "sharded Classify", pipe.Classify(r), want[i])
+		}
+		for i, got := range pipe.ClassifyBatch(reads) {
+			requireResultEqual(t, "sharded ClassifyBatch", got, want[i])
+		}
+		// Streaming sessions with a random chunk size, including 1-sample
+		// deliveries.
+		chunk := []int{1, 7, 173, 400, 4096}[rng.Intn(5)]
+		for i, r := range reads {
+			sess, err := pipe.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := sess.Stream(r, chunk)
+			requireResultEqual(t, "sharded Session.Stream", got, want[i])
+		}
+	}
+}
+
+// TestShardedPipelineConcurrent drives many sharded classifications from
+// concurrent goroutines over a small instance pool — under -race this is
+// the wavefront scheduler's concurrency check (shard tasks of different
+// reads interleave over the same instances).
+func TestShardedPipelineConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	cfg := sdtw.DefaultIntConfig()
+	ref := randomRef(rng, 1800)
+	stages := []sdtw.Stage{{PrefixSamples: 1100, Threshold: 1100 * 3}}
+	pipe, err := NewPipeline(func() (Backend, error) { return NewSoftware(ref, cfg) }, 2, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.SetShards(4); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	reads := make([][]int16, goroutines)
+	want := make([]Result, goroutines)
+	for i := range reads {
+		reads[i] = randomRead(rng, 1300)
+		want[i] = pipe.Classify(reads[i])
+	}
+	var wg sync.WaitGroup
+	got := make([]Result, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = pipe.Classify(reads[g])
+		}(g)
+	}
+	wg.Wait()
+	for g := range got {
+		requireResultEqual(t, "concurrent sharded Classify", got[g], want[g])
+	}
+}
+
+// TestSoftwareShardedBackendParity covers the serial cache-blocked path:
+// NewSoftwareSharded back-ends (including degenerate shard counts) match
+// the plain software back-end bit for bit, one-shot and streamed.
+func TestSoftwareShardedBackendParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	cfg := sdtw.DefaultIntConfig()
+	ref := randomRef(rng, 2100)
+	plain, err := NewSoftware(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 7, len(ref) + 1} {
+		sharded, err := NewSoftwareSharded(ref, cfg, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 6; trial++ {
+			stages := randStages(rng)
+			read := randomRead(rng, 300+rng.Intn(2600))
+			want := plain.Classify(read, stages)
+			requireResultEqual(t, "NewSoftwareSharded Classify", sharded.Classify(read, stages), want)
+			sess, err := sharded.NewSession(stages)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := sess.Stream(read, 250)
+			requireResultEqual(t, "NewSoftwareSharded Session", got, want)
+		}
+	}
+}
+
+// TestHardwareTilesBackendParity runs the multi-tile hardware back-end
+// against the software truth over random schedules and chunkings, and
+// checks the halo traffic reaches Stats.DRAMBytes — the end-to-end form of
+// the hw-level TileGroup tests.
+func TestHardwareTilesBackendParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	cfg := sdtw.DefaultIntConfig()
+	ref := randomRef(rng, 2600)
+	plain, err := NewSoftware(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles, err := NewHardwareTiles(ref, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDRAM := false
+	for trial := 0; trial < 10; trial++ {
+		stages := randStages(rng)
+		read := randomRead(rng, 300+rng.Intn(2600))
+		want := plain.Classify(read, stages)
+		got := tiles.Classify(read, stages)
+		requireResultEqual(t, "NewHardwareTiles Classify", got, want)
+		if got.Stats.Cycles <= 0 {
+			t.Fatalf("trial %d: multi-tile backend reported no cycles", trial)
+		}
+		if got.Stats.DRAMBytes > 0 {
+			sawDRAM = true
+		}
+		sess, err := tiles.NewSession(stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed, _ := sess.Stream(read, 300)
+		requireResultEqual(t, "NewHardwareTiles Session", streamed, want)
+	}
+	if !sawDRAM {
+		t.Error("no trial reported halo DRAM traffic from the tile group")
+	}
+}
+
+// TestNewHardwareTilesAuto pins the auto-sizing and fallback rules: a
+// reference over one tile's buffer auto-gangs tiles, one that fits with
+// tiles <= 1 stays a plain tile, and a reference beyond the whole device
+// still errors.
+func TestNewHardwareTilesAuto(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	cfg := sdtw.DefaultIntConfig()
+	long := randomRef(rng, hw.RefBufferBytes+2000)
+	if _, err := NewHardware(long, cfg); err == nil {
+		t.Fatal("single-tile backend accepted an over-length reference")
+	}
+	b, err := NewHardwareTiles(long, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.RefLen() != len(long) {
+		t.Errorf("RefLen = %d, want %d", b.RefLen(), len(long))
+	}
+	read := randomRead(rng, 64)
+	stages := []sdtw.Stage{{PrefixSamples: 64, Threshold: 1 << 30}}
+	plain, err := NewSoftware(long, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireResultEqual(t, "long-reference NewHardwareTiles", b.Classify(read, stages), plain.Classify(read, stages))
+
+	if _, err := NewHardwareTiles(make([]int8, hw.NumTiles*hw.RefBufferBytes+1), cfg, 0); err == nil {
+		t.Error("reference beyond the whole device accepted")
+	}
+}
+
+// TestPanelShardedParity threads sharding through the panel layer:
+// targets whose pipelines wavefront their shards produce panel verdicts
+// (one-shot and streamed sessions) bit-identical to unsharded targets.
+func TestPanelShardedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	cfg := sdtw.DefaultIntConfig()
+	stages := []sdtw.Stage{{PrefixSamples: 900, Threshold: 1 << 30}}
+	build := func(ref []int8, shards int) Target {
+		p, err := NewPipeline(func() (Backend, error) { return NewSoftware(ref, cfg) }, 2, stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.SetShards(shards); err != nil {
+			t.Fatal(err)
+		}
+		return Target{Name: "t", Pipeline: p}
+	}
+	refA, refB := randomRef(rng, 1400), randomRef(rng, 1700)
+	plain, err := NewPanel([]Target{build(refA, 1), build(refB, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewPanel([]Target{build(refA, 3), build(refB, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		read := randomRead(rng, 300+rng.Intn(1500))
+		want := plain.Classify(read)
+		got := sharded.Classify(read)
+		if got.Best != want.Best || got.Undecided != want.Undecided {
+			t.Fatalf("trial %d: sharded panel {best=%d und=%v} != plain {best=%d und=%v}",
+				trial, got.Best, got.Undecided, want.Best, want.Undecided)
+		}
+		for ti := range want.PerTarget {
+			requireResultEqual(t, "sharded panel target", got.PerTarget[ti], want.PerTarget[ti])
+		}
+		sess, err := sharded.NewSession(PrunePolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed, _ := sess.Stream(read, 250)
+		if streamed.Best != want.Best || streamed.Undecided != want.Undecided {
+			t.Fatalf("trial %d: sharded panel session {best=%d und=%v} != plain {best=%d und=%v}",
+				trial, streamed.Best, streamed.Undecided, want.Best, want.Undecided)
+		}
+	}
+}
+
+// TestSetShardsValidation: shard counts degrade and unsupported back-ends
+// are refused.
+func TestSetShardsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	cfg := sdtw.DefaultIntConfig()
+	ref := randomRef(rng, 900)
+	stages := []sdtw.Stage{{PrefixSamples: 500, Threshold: 500 * 3}}
+
+	swPipe, err := NewPipeline(func() (Backend, error) { return NewSoftware(ref, cfg) }, 2, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := swPipe.SetShards(4); err != nil || swPipe.Shards() != 4 {
+		t.Errorf("SetShards(4): err=%v shards=%d", err, swPipe.Shards())
+	}
+	if err := swPipe.SetShards(1); err != nil || swPipe.Shards() != 1 {
+		t.Errorf("SetShards(1): err=%v shards=%d", err, swPipe.Shards())
+	}
+
+	hwPipe, err := NewPipeline(func() (Backend, error) { return NewHardware(ref, cfg) }, 1, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hwPipe.SetShards(2); err == nil {
+		t.Error("hardware pipeline accepted pipeline-level sharding (tiles shard via NewHardwareTiles)")
+	}
+	if err := hwPipe.SetShards(1); err != nil {
+		t.Errorf("SetShards(1) must always succeed, got %v", err)
+	}
+}

@@ -188,6 +188,173 @@ func TestCycleCountMatchesAnalyticalModel(t *testing.T) {
 	}
 }
 
+// --- multi-tile cooperation (TileGroup) ---
+
+// TestTileGroupMatchesSoftware is the multi-tile acceptance property: a
+// reference sharded across cooperating tiles must classify bit-identically
+// to the software integer DP (and leave the same final row), for arbitrary
+// tile counts, with and without the match bonus.
+func TestTileGroupMatchesSoftware(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint16, tilesRaw uint8, useBonus bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%250 + 1
+		m := int(mRaw)%400 + 1
+		tiles := int(tilesRaw)%NumTiles + 1
+		query := randInt8(rng, n)
+		ref := randInt8(rng, m)
+		cfg := sdtw.IntConfig{}
+		if useBonus {
+			cfg = sdtw.DefaultIntConfig()
+		}
+		g, err := NewTileGroup(ref, cfg, tiles)
+		if err != nil {
+			return false
+		}
+		hwRes, hwRow, _ := g.Classify(query, nil)
+		swRes, swRow := sdtw.IntDPRow(query, ref, cfg)
+		if hwRes != swRes {
+			t.Logf("tiles=%d: group %+v != sw %+v", tiles, hwRes, swRes)
+			return false
+		}
+		for j := range swRow.Cost {
+			if hwRow.Cost[j] != swRow.Cost[j] || hwRow.Run[j] != swRow.Run[j] {
+				t.Logf("tiles=%d: row diverged at column %d", tiles, j)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTileGroupMultiPassSharded composes the two query/reference scaling
+// mechanisms: a query longer than the PE array (multiple passes) against a
+// reference sharded across three tiles. Verdicts must stay bit-identical
+// to software, and DRAMBytes must account the halo exchange exactly once
+// per boundary per pass on top of the usual inter-pass row parking.
+func TestTileGroupMultiPassSharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	query := randInt8(rng, 2*PEsPerTile+37)
+	ref := randInt8(rng, 600)
+	cfg := sdtw.DefaultIntConfig()
+	g, err := NewTileGroup(ref, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, row, stats := g.Classify(query, nil)
+	if sw := sdtw.IntDP(query, ref, cfg); res != sw {
+		t.Errorf("multi-pass sharded %+v != sw %+v", res, sw)
+	}
+	if stats.Passes != 3 {
+		t.Errorf("passes = %d, want 3", stats.Passes)
+	}
+	// Exact DRAM ledger: halo cells once per interior boundary per pass
+	// (write + read), plus the full-row write/read between passes. Pass
+	// lengths are 2000, 2000, 37.
+	wantDRAM := int64(0)
+	for _, n := range []int{PEsPerTile, PEsPerTile, 37} {
+		wantDRAM += g.HaloBytesPerPass(n)
+	}
+	wantDRAM += 2 * int64(len(ref)) * rowStateBytes * 2 // two inter-pass boundaries
+	if stats.DRAMBytes != wantDRAM {
+		t.Errorf("DRAMBytes = %d, want %d (halo counted exactly once)", stats.DRAMBytes, wantDRAM)
+	}
+	// Stage resume on the stored row adds the read-back + parking write,
+	// and one more single-pass halo exchange.
+	res2, stats2 := g.ExtendRow(randInt8(rng, 50), row, 0, false)
+	if res2.EndPos < 0 {
+		t.Fatal("resumed extension returned no result")
+	}
+	want2 := g.HaloBytesPerPass(50) + int64(len(ref))*rowStateBytes*2
+	if stats2.DRAMBytes != want2 {
+		t.Errorf("resume DRAMBytes = %d, want %d", stats2.DRAMBytes, want2)
+	}
+}
+
+// TestTileGroupLongReference is the ceiling lift: a reference the
+// single-tile buffer rejects classifies on a cooperating group,
+// bit-identically to software.
+func TestTileGroupLongReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ref := randInt8(rng, RefBufferBytes+4096)
+	if _, err := NewTile(ref, sdtw.DefaultIntConfig()); err == nil {
+		t.Fatal("single tile accepted a reference beyond its buffer")
+	}
+	g, err := NewTileGroup(ref, sdtw.DefaultIntConfig(), 0) // auto-size
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Tiles() != 2 {
+		t.Errorf("auto-sized group has %d tiles, want 2", g.Tiles())
+	}
+	query := randInt8(rng, 40)
+	res, _, stats := g.Classify(query, nil)
+	if sw := sdtw.IntDP(query, ref, sdtw.DefaultIntConfig()); res != sw {
+		t.Errorf("long-reference group %+v != sw %+v", res, sw)
+	}
+	if want := ClassifyCycles(len(query), len(ref)); stats.Cycles != want {
+		t.Errorf("group cycles %d != long-virtual-array model %d", stats.Cycles, want)
+	}
+	if stats.DRAMBytes != g.HaloBytesPerPass(len(query)) {
+		t.Errorf("single-pass DRAM %d, want halo-only %d", stats.DRAMBytes, g.HaloBytesPerPass(len(query)))
+	}
+}
+
+// TestTileGroupCycleModel pins the chained-array timing: a group sharding
+// a reference that would also fit one tile reports exactly the single
+// tile's cycle count and threshold decision cycle — cooperation costs
+// DRAM traffic, not latency.
+func TestTileGroupCycleModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ref := randInt8(rng, 300)
+	query := make([]int8, 50)
+	copy(query, ref[130:180]) // planted exact match: cost 0 with no bonus
+	tile, err := NewTile(ref, sdtw.IntConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewTileGroup(ref, sdtw.IntConfig{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, tStats := tile.ClassifyThreshold(query, nil, 1<<20)
+	gRes, _, gStats := g.ClassifyThreshold(query, nil, 1<<20)
+	if gRes.Cost != 0 {
+		t.Fatalf("planted match cost %d", gRes.Cost)
+	}
+	if gStats.Cycles != tStats.Cycles {
+		t.Errorf("group cycles %d != single-tile %d", gStats.Cycles, tStats.Cycles)
+	}
+	if gStats.DecisionCycle != tStats.DecisionCycle {
+		t.Errorf("group decision cycle %d != single-tile %d", gStats.DecisionCycle, tStats.DecisionCycle)
+	}
+}
+
+func TestTileGroupValidation(t *testing.T) {
+	cfg := sdtw.DefaultIntConfig()
+	if _, err := NewTileGroup(nil, cfg, 0); err == nil {
+		t.Error("empty reference accepted")
+	}
+	if _, err := NewTileGroup(make([]int8, NumTiles*RefBufferBytes+1), cfg, 0); err == nil {
+		t.Error("reference beyond the whole device accepted")
+	}
+	if _, err := NewTileGroup(make([]int8, 2*RefBufferBytes), cfg, 1); err == nil {
+		t.Error("explicit tile count too small accepted")
+	}
+	if _, err := NewTileGroup(make([]int8, 100), cfg, NumTiles+1); err == nil {
+		t.Error("more tiles than the device has accepted")
+	}
+	g, err := NewTileGroup(make([]int8, NumTiles*RefBufferBytes), cfg, 0)
+	if err != nil {
+		t.Fatalf("exactly-full device rejected: %v", err)
+	}
+	if g.Tiles() != NumTiles || g.RefLen() != NumTiles*RefBufferBytes {
+		t.Errorf("full-device group: %d tiles, %d samples", g.Tiles(), g.RefLen())
+	}
+}
+
 // --- normalizer ---
 
 func TestNormalizerMatchesSoftware(t *testing.T) {

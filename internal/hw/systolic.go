@@ -60,7 +60,9 @@ type Tile struct {
 }
 
 // NewTile programs a tile. The reference must fit the 100 KB buffer —
-// exceeding it is the hardware's genome-length limit, reported as an error.
+// exceeding it is the single-tile genome-length limit, reported as an
+// error; NewTileGroup lifts it by ganging up to NumTiles tiles over
+// reference shards (tilegroup.go).
 func NewTile(ref []int8, cfg sdtw.IntConfig) (*Tile, error) {
 	if len(ref) == 0 {
 		return nil, fmt.Errorf("hw: empty reference")
@@ -111,7 +113,15 @@ func (t *Tile) ClassifyThreshold(query []int8, boundary *sdtw.Row, threshold int
 }
 
 func (t *Tile) classify(query []int8, boundary *sdtw.Row, threshold int32, useThreshold bool) (sdtw.IntResult, *sdtw.Row, CycleStats) {
-	m := len(t.ref)
+	return classifyRow(t.ExtendRow, len(t.ref), query, boundary, threshold, useThreshold)
+}
+
+// classifyRow allocates (or clones, resuming a stored stage) the boundary
+// row for a device of reference length m and runs one extension — the
+// Classify wrapper shared by Tile and TileGroup, so boundary handling
+// cannot drift between the single-tile and cooperative paths.
+func classifyRow(extend func([]int8, *sdtw.Row, int32, bool) (sdtw.IntResult, CycleStats),
+	m int, query []int8, boundary *sdtw.Row, threshold int32, useThreshold bool) (sdtw.IntResult, *sdtw.Row, CycleStats) {
 	row := sdtw.NewRow(m)
 	if boundary != nil {
 		if boundary.Len() != m {
@@ -119,7 +129,7 @@ func (t *Tile) classify(query []int8, boundary *sdtw.Row, threshold int32, useTh
 		}
 		row = boundary.Clone()
 	}
-	res, stats := t.ExtendRow(query, row, threshold, useThreshold)
+	res, stats := extend(query, row, threshold, useThreshold)
 	return res, row, stats
 }
 
@@ -149,7 +159,9 @@ func (t *Tile) ExtendRow(query []int8, row *sdtw.Row, threshold int32, useThresh
 		}
 		// The subsequence minimum is over the final query row only;
 		// earlier passes just carry state forward.
-		best = t.sweep(query[:n], row, &stats, threshold, useThreshold)
+		base := stats.Cycles
+		best = t.sweep(query[:n], row, nil, nil, 0, base, &stats, threshold, useThreshold)
+		stats.Cycles = base + int64(2*n) + int64(n+m-1)
 		query = query[n:]
 		stats.Passes++
 		if len(query) > 0 {
@@ -165,7 +177,18 @@ func (t *Tile) ExtendRow(query []int8, row *sdtw.Row, threshold int32, useThresh
 // cycles c-1 and c-2 — exactly the dataflow of Figure 13. PE 0's
 // neighbour is the boundary row; the last PE streams the final row out and
 // feeds the threshold comparator.
-func (t *Tile) sweep(query []int8, row *sdtw.Row, stats *CycleStats, threshold int32, useThreshold bool) sdtw.IntResult {
+//
+// When the tile holds an interior shard of a longer reference (TileGroup),
+// haloIn carries the left tile's last-PE stream — one (cost, run) cell per
+// query row, the diagonal operands of the shard's first column — and
+// haloOut records this tile's own last-PE stream for the right neighbour.
+// colOff is the shard's first global column; with tiles chained into one
+// long virtual array, cell (i, j) completes at wavefront cycle
+// i + colOff + j, which is what the threshold comparator's DecisionCycle
+// reports (relative to baseCycle plus the 2n-cycle load/normalize phase).
+// The caller owns Cycles accounting: a pass costs 2n + (n + M - 1) where
+// M is the full (group-wide) reference length.
+func (t *Tile) sweep(query []int8, row *sdtw.Row, haloIn, haloOut *sdtw.Halo, colOff int, baseCycle int64, stats *CycleStats, threshold int32, useThreshold bool) sdtw.IntResult {
 	n := len(query)
 	m := len(t.ref)
 	ref := t.ref
@@ -179,10 +202,15 @@ func (t *Tile) sweep(query []int8, row *sdtw.Row, stats *CycleStats, threshold i
 	for i := range pes {
 		pes[i] = pe{q: int32(query[i])}
 	}
+	if haloOut != nil {
+		// The right tile's diagonal operand for query row i is this tile's
+		// last column *before* row i lands: the stored row state, then PE
+		// i-1's output at the last column (state i is written by PE i-1).
+		haloOut.Reserve(n)
+		haloOut.Cost[0], haloOut.Run[0] = row.Cost[m-1], row.Run[m-1]
+	}
 
-	startCycles := stats.Cycles
 	wavefront := n + m - 1
-	stats.Cycles += int64(2*n) + int64(wavefront)
 
 	// pbCost/pbRun hold the boundary value of column j-1 as PE 0 saw it —
 	// a register, because for 1- and 2-PE arrays the last PE overwrites
@@ -220,14 +248,20 @@ func (t *Tile) sweep(query []int8, row *sdtw.Row, stats *CycleStats, threshold i
 				diagCost, diagRun = left.cost2, left.run2
 				vertCost, vertRun = left.cost1, left.run1
 			}
-			if j == 0 {
-				// Vertical only: run increments, clamped at the cap.
+			if j == 0 && haloIn == nil {
+				// Global column 0: vertical only; run increments, clamped
+				// at the cap.
 				newCost = d + vertCost
 				newRun = vertRun
 				if newRun < cap_ {
 					newRun++
 				}
 			} else {
+				if j == 0 {
+					// Interior shard: the diagonal operand arrives on the
+					// halo stream from the left tile's last PE.
+					diagCost, diagRun = haloIn.Cost[i], haloIn.Run[i]
+				}
 				diag := diagCost - bonus*diagRun
 				if diag <= vertCost {
 					newCost = d + diag
@@ -243,12 +277,15 @@ func (t *Tile) sweep(query []int8, row *sdtw.Row, stats *CycleStats, threshold i
 			pes[i].cost2, pes[i].run2 = pes[i].cost1, pes[i].run1
 			pes[i].cost1, pes[i].run1 = newCost, newRun
 
+			if haloOut != nil && j == m-1 && i+1 < n {
+				haloOut.Cost[i+1], haloOut.Run[i+1] = newCost, newRun
+			}
 			if i == n-1 {
 				row.Cost[j], row.Run[j] = newCost, newRun
 				if newCost < best.Cost {
 					best.Cost, best.EndPos = newCost, j
 					if useThreshold && stats.DecisionCycle < 0 && newCost <= threshold {
-						stats.DecisionCycle = startCycles + int64(2*n) + int64(c) + 1
+						stats.DecisionCycle = baseCycle + int64(2*n) + int64(c+colOff) + 1
 					}
 				}
 			}

@@ -1,0 +1,154 @@
+package hw
+
+// Multi-tile cooperative classification. A single tile's reference buffer
+// caps the target at 100 KB of samples (~50 kb double-stranded) — Figure
+// 10's envelope covers epidemic viruses, but bacterial references or
+// concatenated multi-strand panels do not fit. Because the recurrence has
+// no intra-row dependency (internal/sdtw), a longer reference can be
+// sharded across tiles: tile k holds columns [k*width, (k+1)*width) in its
+// own reference buffer, and the only inter-tile dataflow is the halo — the
+// stream of last-column (cost, run) cells tile k's final PE produces
+// anyway (it is the same stream multi-stage mode parks in DRAM). Chained
+// through that stream, the tiles behave as one long virtual systolic
+// array: tile k+1's first PE consumes tile k's last-PE output with the
+// same one-cycle skew as any adjacent PE pair, so a pass over an M-sample
+// reference still drains in n + M - 1 wavefront cycles. What the
+// cooperation costs is memory traffic: the halo cells cross tile
+// boundaries through DRAM and are accounted in CycleStats.DRAMBytes, one
+// write plus one read per cell, exactly once per boundary per pass.
+
+import (
+	"fmt"
+	"math"
+
+	"squigglefilter/internal/sdtw"
+)
+
+// TileGroup gangs up to NumTiles tiles over reference shards, lifting the
+// single-tile 100 KB reference ceiling to NumTiles x RefBufferBytes. Like
+// a Tile, a group classifies one read at a time and is NOT safe for
+// concurrent use.
+type TileGroup struct {
+	tiles []*Tile
+	cfg   sdtw.IntConfig
+	m     int
+	width int
+}
+
+// NewTileGroup programs a group of cooperating tiles. tiles <= 0 sizes the
+// group to the smallest tile count whose combined reference buffers hold
+// ref; an explicit count must be enough for the reference and no more than
+// the device's NumTiles. A group of one degrades to a plain tile.
+func NewTileGroup(ref []int8, cfg sdtw.IntConfig, tiles int) (*TileGroup, error) {
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("hw: empty reference")
+	}
+	need := (len(ref) + RefBufferBytes - 1) / RefBufferBytes
+	if tiles <= 0 {
+		tiles = need
+	}
+	if tiles > NumTiles {
+		return nil, fmt.Errorf("hw: %d tiles requested, device has %d", tiles, NumTiles)
+	}
+	if tiles < need {
+		return nil, fmt.Errorf("hw: reference of %d samples needs %d tiles (%d-byte buffers), got %d",
+			len(ref), need, RefBufferBytes, tiles)
+	}
+	width := sdtw.ShardWidth(len(ref), tiles)
+	g := &TileGroup{cfg: cfg, m: len(ref), width: width}
+	for lo := 0; lo < len(ref); lo += width {
+		hi := lo + width
+		if hi > len(ref) {
+			hi = len(ref)
+		}
+		t, err := NewTile(ref[lo:hi:hi], cfg)
+		if err != nil {
+			return nil, err
+		}
+		g.tiles = append(g.tiles, t)
+	}
+	return g, nil
+}
+
+// RefLen returns the total programmed reference length in samples.
+func (g *TileGroup) RefLen() int { return g.m }
+
+// Tiles returns the number of cooperating tiles.
+func (g *TileGroup) Tiles() int { return len(g.tiles) }
+
+// ShardWidth returns the reference columns per tile (the last tile may
+// hold fewer).
+func (g *TileGroup) ShardWidth() int { return g.width }
+
+// HaloBytesPerPass returns the DRAM traffic one pass of n query samples
+// spends on inter-tile halo exchange: each interior boundary moves n
+// last-column cells, each written by the left tile and read back by the
+// right one.
+func (g *TileGroup) HaloBytesPerPass(n int) int64 {
+	return int64(len(g.tiles)-1) * int64(n) * rowStateBytes * 2
+}
+
+// ExtendRow runs the cooperating tiles over a normalized query chunk,
+// updating row (covering the full sharded reference) in place — the
+// multi-tile counterpart of Tile.ExtendRow, bit-identical to it and to the
+// software kernel by construction. Cycle accounting treats the group as
+// one long virtual array: a pass of n samples costs 2n load/normalize
+// cycles plus an (n + RefLen - 1)-cycle wavefront; DRAM traffic adds the
+// halo exchange (HaloBytesPerPass, charged exactly once per pass) on top
+// of the usual multi-stage and multi-pass row parking.
+func (g *TileGroup) ExtendRow(query []int8, row *sdtw.Row, threshold int32, useThreshold bool) (sdtw.IntResult, CycleStats) {
+	if row.Len() != g.m {
+		panic("hw: row length does not match reference")
+	}
+	stats := CycleStats{DecisionCycle: -1}
+	if row.Samples > 0 {
+		// Resuming a stored stage: read the row back plus the write that
+		// parked it in DRAM when the previous stage ended.
+		stats.DRAMBytes += int64(g.m) * rowStateBytes * 2
+	}
+	sr := sdtw.ShardRow(row, g.width)
+
+	best := sdtw.IntResult{Cost: math.MaxInt32, EndPos: -1}
+	for len(query) > 0 {
+		n := len(query)
+		if n > PEsPerTile {
+			n = PEsPerTile
+		}
+		pass := query[:n]
+		base := stats.Cycles
+		// The serial halo-chaining loop is sdtw's; each tile sweeps its
+		// shard from the left tile's last-PE stream. The subsequence
+		// minimum is over the final query row only, so each pass
+		// overwrites best.
+		best = sr.ExtendWith(n, func(k, lo int, shard *sdtw.Row, haloIn, haloOut *sdtw.Halo) sdtw.IntResult {
+			return g.tiles[k].sweep(pass, shard, haloIn, haloOut, lo, base, &stats, threshold, useThreshold)
+		})
+		stats.Cycles = base + int64(2*n) + int64(n+g.m-1)
+		stats.Passes++
+		stats.DRAMBytes += g.HaloBytesPerPass(n)
+		query = query[n:]
+		if len(query) > 0 {
+			stats.DRAMBytes += int64(g.m) * rowStateBytes * 2 // write + read-back
+		}
+	}
+	return best, stats
+}
+
+// Classify runs the group over a normalized query. boundary may carry
+// state saved from a previous stage; pass nil to start fresh. The returned
+// row is the final DP state over the full reference, reusable as the next
+// stage's boundary.
+func (g *TileGroup) Classify(query []int8, boundary *sdtw.Row) (sdtw.IntResult, *sdtw.Row, CycleStats) {
+	return g.classify(query, boundary, 0, false)
+}
+
+// ClassifyThreshold is Classify plus the last-PE comparator: stats report
+// the first global wavefront cycle at which the running minimum over the
+// final row reached the threshold.
+func (g *TileGroup) ClassifyThreshold(query []int8, boundary *sdtw.Row, threshold int32) (sdtw.IntResult, *sdtw.Row, CycleStats) {
+	return g.classify(query, boundary, threshold, true)
+}
+
+func (g *TileGroup) classify(query []int8, boundary *sdtw.Row, threshold int32, useThreshold bool) (sdtw.IntResult, *sdtw.Row, CycleStats) {
+	return classifyRow(g.ExtendRow, g.m, query, boundary, threshold, useThreshold)
+}

@@ -57,7 +57,10 @@ func MixedPoolSource(targets, hosts []*squiggle.Read, viralFraction float64) Rea
 // taking effect after the consumed samples plus the classifier's
 // latencySec of further sequencing. Reads whose signal ends before a
 // stage decides — and reads with no attached signal — are sequenced in
-// full.
+// full. Shard configuration threads through unchanged: a pipeline with
+// SetShards wavefronts each capture's DP across its instances, with
+// verdicts (and therefore ejections and yield) bit-identical to the
+// unsharded loop.
 func SessionClassifier(pipe *engine.Pipeline, cfg Config, latencySec float64, chunkSamples int) (Classifier, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

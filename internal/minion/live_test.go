@@ -18,6 +18,13 @@ import (
 // signal-level tests.
 func livePool(t *testing.T) (targets, hosts []*squiggle.Read, pipe *engine.Pipeline, prefixSamples int) {
 	t.Helper()
+	return livePoolSharded(t, 1)
+}
+
+// livePoolSharded is livePool with the pipeline's reference-sharded
+// execution path configured (shards > 1).
+func livePoolSharded(t *testing.T, shards int) (targets, hosts []*squiggle.Read, pipe *engine.Pipeline, prefixSamples int) {
+	t.Helper()
 	target := &genome.Genome{Name: "virus", Seq: genome.Random(rand.New(rand.NewSource(61)), 600)}
 	host := &genome.Genome{Name: "host", Seq: genome.Random(rand.New(rand.NewSource(62)), 60000)}
 	sim, err := squiggle.NewSimulator(pore.DefaultModel(), squiggle.DefaultConfig(), 63)
@@ -40,7 +47,31 @@ func livePool(t *testing.T) (targets, hosts []*squiggle.Read, pipe *engine.Pipel
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := pipe.SetShards(shards); err != nil {
+		t.Fatal(err)
+	}
 	return targets, hosts, pipe, prefixSamples
+}
+
+// TestSessionClassifierShardedParity threads shard configuration through
+// the closed loop: a pipeline whose sessions wavefront each read's shards
+// across the instance pool must measure exactly the operating point of the
+// unsharded pipeline — sharding changes scheduling, never verdicts.
+func TestSessionClassifierShardedParity(t *testing.T) {
+	targets, hosts, pipe, _ := livePool(t)
+	_, _, sharded, _ := livePoolSharded(t, 3)
+	pool := append(append([]*squiggle.Read{}, targets...), hosts...)
+	tpr, fpr, err := PoolRates(pipe, pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stpr, sfpr, err := PoolRates(sharded, pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpr != stpr || fpr != sfpr {
+		t.Errorf("sharded operating point (%.4f, %.4f) != unsharded (%.4f, %.4f)", stpr, sfpr, tpr, fpr)
+	}
 }
 
 // TestLiveSessionsMatchAnalyticalModel is the closed-loop

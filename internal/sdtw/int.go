@@ -61,14 +61,14 @@ func (r *Row) Len() int { return len(r.Cost) }
 
 // Reset returns the row to the boundary state (zero cost and run
 // everywhere, no samples consumed) so it can be reused for another read
-// without reallocating — the engine's sync.Pool depends on this.
+// without reallocating — the engine's sync.Pool depends on this, so Reset
+// sits on the per-read hot path. The two hand-written zeroing loops were
+// folded into clear calls, which lower to one memclr per slice; fusing
+// them into a single interleaved loop instead measures ~5x slower because
+// it defeats that idiom (see BenchmarkRowReset).
 func (r *Row) Reset() {
-	for i := range r.Cost {
-		r.Cost[i] = 0
-	}
-	for i := range r.Run {
-		r.Run[i] = 0
-	}
+	clear(r.Cost)
+	clear(r.Run)
 	r.Samples = 0
 }
 
@@ -94,64 +94,20 @@ type IntResult struct {
 // Extend consumes additional query samples, updating row in place, and
 // returns the best cost over the row afterwards. The reference must be the
 // same slice (or content) used for every prior extension of this row.
+//
+// Extend is ExtendShard (shard.go) over a single shard spanning the whole
+// reference: one blocked inner loop serves the unsharded kernel, the
+// cache-blocked serial path, the parallel shard scheduler, and the
+// multi-tile hardware model, so all of them are bit-identical by
+// construction.
 func Extend(row *Row, query []int8, ref []int8, cfg IntConfig) IntResult {
-	cost, run := row.Cost, row.Run
-	m := len(cost)
-	if m != len(ref) {
+	if row.Len() != len(ref) {
 		panic("sdtw: row/reference length mismatch")
 	}
-	if m == 0 {
+	if len(ref) == 0 {
 		return IntResult{EndPos: -1}
 	}
-	bonus, cap_ := cfg.MatchBonus, cfg.BonusCap
-	if bonus == 0 {
-		cap_ = 0 // run values are then only ever compared against cap_
-	}
-	for _, qs := range query {
-		q := int32(qs)
-		// diagCost/diagRun carry S[i-1][j-1] while we overwrite in place.
-		diagCost, diagRun := cost[0], run[0]
-		// Column 0: vertical transition only (no free restart once the
-		// DP has begun; the free start is encoded in the boundary row).
-		d := q - int32(ref[0])
-		if d < 0 {
-			d = -d
-		}
-		cost[0] += d
-		if run[0] < cap_ {
-			run[0]++
-		}
-		for j := 1; j < m; j++ {
-			d := q - int32(ref[j])
-			if d < 0 {
-				d = -d
-			}
-			// run is pre-clamped to cap, so the bonus is a single
-			// multiply (the hardware uses a shift-add of the capped
-			// dwell counter).
-			diag := diagCost - bonus*diagRun
-			vc, vr := cost[j], run[j]
-			diagCost, diagRun = vc, vr
-			if diag <= vc {
-				cost[j] = d + diag
-				run[j] = boolToInt32(cap_ > 0)
-			} else {
-				cost[j] = d + vc
-				if vr < cap_ {
-					vr++
-				}
-				run[j] = vr
-			}
-		}
-		row.Samples++
-	}
-	best := IntResult{Cost: cost[0], EndPos: 0}
-	for j := 1; j < m; j++ {
-		if cost[j] < best.Cost {
-			best.Cost, best.EndPos = cost[j], j
-		}
-	}
-	return best
+	return ExtendShard(row, query, ref, cfg, nil, nil)
 }
 
 func boolToInt32(b bool) int32 {

@@ -9,8 +9,11 @@ import (
 // Panel classifies reads against several target genomes at once — e.g. a
 // respiratory panel of SARS-CoV-2, influenza A, and RSV references — and
 // picks the best-matching target per read. Each target runs its own
-// detector schedule, so per-virus thresholds and stage schedules can
-// differ. A Panel is safe for concurrent use.
+// detector schedule, so per-virus thresholds, stage schedules, and shard
+// configurations can differ: a target built with DetectorConfig.Shards
+// wavefronts each read's DP across its own worker pool, in one-shot and
+// PanelSession streaming alike, with verdicts bit-identical to the
+// unsharded panel. A Panel is safe for concurrent use.
 type Panel struct {
 	panel *engine.Panel
 	names []string

@@ -93,9 +93,12 @@ type DetectorConfig struct {
 	// Name labels the target (reports only).
 	Name string
 	// Sequence is the target reference genome as an ACGT string.
-	// Genomes up to 50 kb (double-stranded equivalent) fit the
-	// hardware's 100 KB reference buffer, which covers almost every
-	// epidemic virus (paper Figure 10).
+	// Genomes up to 50 kb (double-stranded equivalent) fit one tile's
+	// 100 KB reference buffer, which covers almost every epidemic virus
+	// (paper Figure 10); longer genomes — up to hw.NumTiles x that — are
+	// sharded across cooperating tiles automatically (the multi-tile
+	// group exchanges halo cells through DRAM, so they cost memory
+	// traffic, not latency).
 	Sequence string
 	// Stages is the filter schedule. Empty means a single stage at the
 	// paper's default 2,000-sample prefix with a threshold calibrated as
@@ -109,6 +112,14 @@ type DetectorConfig struct {
 	// Workers sizes ClassifyBatch's worker pool (back-end instances reads
 	// are sharded across). Zero means runtime.NumCPU().
 	Workers int
+	// Shards splits the reference dimension of every classification into
+	// this many shards (0 or 1 = unsharded). The software paths schedule
+	// one read's shards across the Workers pool — per-read latency drops
+	// with the shard count, not just batch throughput — and ClassifyHW
+	// gangs up to hw.NumTiles tiles cooperatively. Sharded verdicts are
+	// bit-identical to unsharded ones by construction; the GPU baseline
+	// models whole-kernel launches and ignores Shards.
+	Shards int
 }
 
 // DefaultThresholdPerSample is a robust default ejection threshold in
@@ -171,7 +182,13 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	swBackend, err := engine.NewSoftware(ref.Int8, icfg)
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	// The one-shot software back-end uses the serial cache-blocked sharded
+	// path; the pipeline below layers intra-read parallelism on top.
+	swBackend, err := engine.NewSoftwareSharded(ref.Int8, icfg, shards)
 	if err != nil {
 		return nil, fmt.Errorf("squigglefilter: %w", err)
 	}
@@ -185,11 +202,25 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("squigglefilter: %w", err)
 	}
-	// One tile per detector, exactly as the single-target device maps one
-	// read to one tile; the pipeline grants exclusive access, keeping
-	// ClassifyHW safe for concurrent use.
+	if err := swPipe.SetShards(shards); err != nil {
+		return nil, fmt.Errorf("squigglefilter: %w", err)
+	}
+	// One device per detector, exactly as the single-target device maps
+	// one read to one tile — or, for references beyond one tile's buffer
+	// and for Shards > 1, to a cooperating tile group. The pipeline grants
+	// exclusive access, keeping ClassifyHW safe for concurrent use.
+	hwTiles := 0 // auto-size to the reference
+	if shards > 1 {
+		hwTiles = shards
+		if hwTiles > hw.NumTiles {
+			hwTiles = hw.NumTiles
+		}
+		if need := (ref.Len() + hw.RefBufferBytes - 1) / hw.RefBufferBytes; hwTiles < need {
+			hwTiles = 0 // fall back to auto when the reference needs more
+		}
+	}
 	hwPipe, err := engine.NewPipeline(func() (engine.Backend, error) {
-		return engine.NewHardware(ref.Int8, icfg)
+		return engine.NewHardwareTiles(ref.Int8, icfg, hwTiles)
 	}, 1, internalStages)
 	if err != nil {
 		return nil, fmt.Errorf("squigglefilter: %w", err)
@@ -216,6 +247,10 @@ func (d *Detector) ReferenceSamples() int { return d.ref.Len() }
 
 // Workers returns the size of ClassifyBatch's worker pool.
 func (d *Detector) Workers() int { return d.swPipe.Workers() }
+
+// Shards returns the resolved reference shard count of the software
+// classification paths (1 when unsharded).
+func (d *Detector) Shards() int { return d.swPipe.Shards() }
 
 // Verdict is the outcome of classifying one read prefix.
 type Verdict struct {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"squigglefilter/internal/genome"
+	"squigglefilter/internal/hw"
 	"squigglefilter/internal/pore"
 	"squigglefilter/internal/squiggle"
 )
@@ -42,9 +43,58 @@ func TestNewDetectorValidation(t *testing.T) {
 	if _, err := NewDetector(DetectorConfig{Sequence: "ACGT"}); err == nil {
 		t.Error("too-short reference accepted")
 	}
+	// A genome beyond one tile's 100 KB buffer now builds: the hardware
+	// model shards it across cooperating tiles (it was rejected before
+	// multi-tile support).
 	long := genome.Random(rand.New(rand.NewSource(4)), 60001)
-	if _, err := NewDetector(DetectorConfig{Sequence: long.String()}); err == nil {
-		t.Error("reference exceeding the 100KB hardware buffer accepted")
+	det, err := NewDetector(DetectorConfig{Sequence: long.String()})
+	if err != nil {
+		t.Errorf("reference over one tile's buffer rejected despite multi-tile support: %v", err)
+	} else if det.ReferenceSamples() <= hw.RefBufferBytes {
+		t.Errorf("long genome reference only %d samples — fixture no longer exercises the multi-tile path", det.ReferenceSamples())
+	}
+	// The whole device's combined buffers are still a hard ceiling.
+	huge := genome.Random(rand.New(rand.NewSource(5)), 300000)
+	if _, err := NewDetector(DetectorConfig{Sequence: huge.String()}); err == nil {
+		t.Error("reference exceeding all five tiles' buffers accepted")
+	}
+}
+
+// TestDetectorShardedParity threads DetectorConfig.Shards end to end:
+// every public classification path of a sharded detector — software
+// one-shot, batch, streaming sessions, and the multi-tile hardware model —
+// must be bit-identical to the unsharded detector.
+func TestDetectorShardedParity(t *testing.T) {
+	det, g := testDetector(t, nil)
+	sharded, err := NewDetector(DetectorConfig{Name: g.Name, Sequence: g.Seq.String(), Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Shards() != 3 {
+		t.Fatalf("resolved shards = %d, want 3", sharded.Shards())
+	}
+	targets, hosts := simReads(t, g, 6)
+	reads := append(targets, hosts...)
+	want := det.ClassifyBatch(reads)
+	got := sharded.ClassifyBatch(reads)
+	for i := range reads {
+		if got[i] != want[i] {
+			t.Fatalf("read %d: sharded batch %+v != plain %+v", i, got[i], want[i])
+		}
+		if v := sharded.Classify(reads[i]); v != want[i] {
+			t.Fatalf("read %d: sharded Classify %+v != plain %+v", i, v, want[i])
+		}
+		sess := sharded.NewSession()
+		if v, _ := sess.Stream(reads[i], 400); v != want[i] {
+			t.Fatalf("read %d: sharded session %+v != plain %+v", i, v, want[i])
+		}
+		hv := sharded.ClassifyHW(reads[i])
+		if hv.Verdict != want[i] {
+			t.Fatalf("read %d: sharded hw %+v != plain %+v", i, hv.Verdict, want[i])
+		}
+		if hv.DRAMBytes <= det.ClassifyHW(reads[i]).DRAMBytes {
+			t.Fatalf("read %d: multi-tile hw reported no extra halo DRAM traffic", i)
+		}
 	}
 }
 
