@@ -1,17 +1,19 @@
 // Command sfrun classifies a SQGL dataset against a reference on any of
 // the unified classification back-ends and reports the confusion matrix,
-// a decision summary, and classify-only throughput.
+// a decision summary, scheduler statistics, and classify-only throughput.
 //
 //	sfrun -data sample.sqgl -ref ref.txt [-threshold N] [-prefix 2000]
 //	      [-backend sw|hw|gpu] [-workers N] [-shards S] [-stream] [-chunk 400]
+//	sfrun -data sample.sqgl -ref ref.txt -rt [-channels 512] [-rt-sec 60]
+//	      [-backend sw|hw|gpu]
 //	sfrun -data sample.sqgl -panel refA.txt,refB.txt,... [-stream]
 //	      [-prune-margin M] [-threshold N] [-prefix 2000] [-shards S]
 //
 // Without -threshold, the threshold is calibrated on the dataset's ground
-// truth (best F1). The worker pool schedules batch reads across -workers
-// instances of whichever back-end is selected; hw and gpu additionally
-// report their modeled per-read latency (verdicts are bit-identical
-// across back-ends).
+// truth (best F1). The scheduler dispatches batch reads (and each read's
+// shards) across -workers instances of whichever back-end is selected;
+// hw and gpu additionally report their modeled per-read latency (verdicts
+// are bit-identical across back-ends).
 //
 // -shards splits the reference dimension of every classification into S
 // shards: the software paths wavefront one read's shards across the
@@ -23,8 +25,16 @@
 // -stream replays each read through an incremental Session in -chunk
 // sample deliveries, as a live Read Until loop would — decisions land the
 // moment the stage boundary crosses, and the verdicts are bit-identical
-// to the batch path. Streaming uses the software back-end's session
-// scheduler.
+// to the batch path. Sessions run on any back-end's instance pool
+// (engine sessions park the DP row between stage extensions), so -stream
+// composes with -backend hw and gpu too.
+//
+// -rt runs the deadline side of the paper's claim: a -channels-pore flow
+// cell delivers ~0.1 s chunks on a virtual clock, every stage decision
+// becomes a deadlined task priced by the selected back-end's service-time
+// model, and the report is the measured keep-up verdict — utilization,
+// p50/p99 decision latency, late-decision fraction, and sequencing wasted
+// on late ejections.
 //
 // -panel takes comma-separated reference files and classifies every read
 // against all of them at once, printing a per-target summary table. A
@@ -48,8 +58,16 @@ import (
 	"time"
 
 	"squigglefilter"
+	"squigglefilter/internal/engine"
+	"squigglefilter/internal/engine/sched"
+	"squigglefilter/internal/genome"
+	"squigglefilter/internal/gpu"
+	"squigglefilter/internal/hw"
 	"squigglefilter/internal/metrics"
+	"squigglefilter/internal/minion"
+	"squigglefilter/internal/pore"
 	"squigglefilter/internal/readuntil"
+	"squigglefilter/internal/sdtw"
 	"squigglefilter/internal/sigio"
 	"squigglefilter/internal/squiggle"
 )
@@ -74,6 +92,61 @@ func (s summary) String() string {
 	return fmt.Sprintf("decisions: %d accept, %d reject, %d continue", s.accept, s.reject, s.cont)
 }
 
+// printSchedStats renders the scheduler's accounting — utilization and
+// decision-latency percentiles — after a run that dispatched through it.
+func printSchedStats(instances int, completed, late int64, util float64, p50, p90, p99 time.Duration) {
+	fmt.Printf("scheduler: %d instances, %.1f%% utilized, %d tasks (%d late), decision latency p50=%v p90=%v p99=%v\n",
+		instances, 100*util, completed, late,
+		p50.Round(time.Microsecond), p90.Round(time.Microsecond), p99.Round(time.Microsecond))
+}
+
+// printEngineSchedStats is printSchedStats from the engine's own snapshot.
+func printEngineSchedStats(st sched.Stats) {
+	d := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	printSchedStats(st.Instances, st.Completed, st.Late, st.Utilization(),
+		d(st.Latency.Median), d(st.Latency.P90), d(st.Latency.P99))
+}
+
+// buildPipeline programs an engine pipeline for the chosen back-end over
+// the reference, mirroring the detector's construction: the stream and
+// real-time paths drive engine sessions and cost models directly.
+func buildPipeline(seq string, backend string, workers, shards, prefix int, threshold int32) (*engine.Pipeline, int) {
+	g, err := genome.FromString(seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := pore.DefaultModel().BuildReference(&genome.Genome{Name: "target", Seq: g})
+	icfg := sdtw.DefaultIntConfig()
+	stages := []sdtw.Stage{{PrefixSamples: prefix, Threshold: threshold}}
+	var factory func() (engine.Backend, error)
+	instances, servers := workers, workers
+	switch backend {
+	case "sw":
+		factory = func() (engine.Backend, error) { return engine.NewSoftware(ref.Int8, icfg) }
+	case "hw":
+		// One pipeline instance per independent tile; the device has
+		// hw.NumTiles of them.
+		factory = func() (engine.Backend, error) { return engine.NewHardwareTiles(ref.Int8, icfg, 0) }
+		instances, servers = hw.NumTiles, hw.NumTiles
+	case "gpu":
+		// A single GPU serves every channel serially.
+		factory = func() (engine.Backend, error) { return engine.NewGPU(ref.Int8, icfg, gpu.TitanXP()) }
+		instances, servers = 1, 1
+	default:
+		log.Fatalf("unknown backend %q (want sw, hw, or gpu)", backend)
+	}
+	pipe, err := engine.NewPipeline(factory, instances, stages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if shards > 1 && backend == "sw" {
+		if err := pipe.SetShards(shards); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return pipe, servers
+}
+
 func main() {
 	dataPath := flag.String("data", "", "SQGL dataset (from cmd/datagen)")
 	refPath := flag.String("ref", "", "reference sequence file (ACGT text)")
@@ -83,22 +156,25 @@ func main() {
 	backend := flag.String("backend", "sw", "classification backend: sw, hw, or gpu")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size batch reads (and each read's shards) are scheduled across, for any backend")
 	shards := flag.Int("shards", 1, "reference shards per read: intra-read parallelism on sw, cooperating tiles on hw (1 = unsharded)")
-	stream := flag.Bool("stream", false, "replay reads through incremental sessions (sw backend)")
+	stream := flag.Bool("stream", false, "replay reads through incremental sessions on the selected backend's instance pool")
 	chunk := flag.Int("chunk", 400, "streaming chunk size in samples (~0.1 s of signal)")
 	pruneMargin := flag.Int("prune-margin", -1, "panel stream cross-target prune margin in cost units/sample (< 0 disables)")
+	rt := flag.Bool("rt", false, "run the real-time flow-cell simulation (virtual clock, deadline-aware scheduler) instead of batch classification")
+	channels := flag.Int("channels", 512, "flow-cell channel count for -rt")
+	rtSec := flag.Float64("rt-sec", 60, "simulated seconds for -rt")
 	flag.Parse()
 	if *dataPath == "" || (*refPath == "" && *panelRefs == "") {
 		flag.Usage()
 		os.Exit(2)
-	}
-	if *stream && *backend != "sw" {
-		log.Fatalf("-stream runs on the software session scheduler; use -backend sw (got %q)", *backend)
 	}
 	if *stream && *chunk <= 0 {
 		log.Fatalf("-chunk must be positive, got %d", *chunk)
 	}
 	if *pruneMargin >= 0 && (*panelRefs == "" || !*stream) {
 		log.Fatalf("-prune-margin needs -panel with -stream (pruning acts at streaming stage boundaries)")
+	}
+	if *rt && *panelRefs != "" {
+		log.Fatalf("-rt runs single-target flow cells; use -ref")
 	}
 
 	f, err := os.Open(*dataPath)
@@ -127,10 +203,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	seq := strings.TrimSpace(string(refText))
 
 	det, err := squigglefilter.NewDetector(squigglefilter.DetectorConfig{
 		Name:     "target",
-		Sequence: strings.TrimSpace(string(refText)),
+		Sequence: seq,
 		Workers:  *workers,
 		Shards:   *shards,
 	})
@@ -153,9 +230,14 @@ func main() {
 		fmt.Printf("calibrated threshold %d (TPR %.3f, FPR %.3f)\n", th, tpr, fpr)
 	}
 
+	if *rt {
+		runRealtime(reads, seq, *backend, *workers, *prefix, th, *channels, *chunk, *rtSec)
+		return
+	}
+
 	det2, err := squigglefilter.NewDetector(squigglefilter.DetectorConfig{
 		Name:     "target",
-		Sequence: strings.TrimSpace(string(refText)),
+		Sequence: seq,
 		Stages:   []squigglefilter.Stage{{PrefixSamples: *prefix, Threshold: th}},
 		Workers:  *workers,
 		Shards:   *shards,
@@ -178,20 +260,30 @@ func main() {
 	var cm metrics.Confusion
 	var sum summary
 	var consumed int64
-	poolSize := 1 // hw and gpu classify serially; only sw shards the batch
+	poolSize := 1 // hw and gpu classify serially; only sw schedules the batch
 	mode := *backend
+	var streamPipe *engine.Pipeline
+	if *stream {
+		// Built (and, for sw, service-time-calibrated) before the clock
+		// starts: the timed region below is classify work only.
+		streamPipe, _ = buildPipeline(seq, *backend, *workers, *shards, *prefix, th)
+		streamPipe.ServiceTime(*chunk)
+	}
 	start := time.Now()
 	switch {
 	case *stream:
 		// Reads replay serially through sessions (one live channel), so
 		// the throughput figure is a 1-worker number regardless of the
-		// pool size.
-		mode = "sw/stream"
+		// pool size. Sessions run on the selected back-end's own pool.
+		mode = *backend + "/stream"
 		for i, s := range samples {
-			sess := det2.NewSession()
+			sess, err := streamPipe.NewSession()
+			if err != nil {
+				log.Fatal(err)
+			}
 			v, _ := sess.Stream(s, *chunk)
-			cm.Add(reads[i].Target, v.Decision == squigglefilter.Accept)
-			sum.add(v.Decision)
+			cm.Add(reads[i].Target, v.Decision == sdtw.Accept)
+			sum.add(squigglefilter.Decision(v.Decision))
 			consumed += int64(v.SamplesUsed)
 		}
 	case *backend == "sw":
@@ -233,8 +325,43 @@ func main() {
 
 	fmt.Printf("classified %d reads at prefix %d on %s backend: %s\n", len(reads), *prefix, mode, cm)
 	fmt.Printf("%s (mean decision at %.0f bases)\n", sum, float64(consumed)/float64(len(reads))/readuntil.SamplesPerBase)
+	switch {
+	case streamPipe != nil:
+		printEngineSchedStats(streamPipe.SchedStats())
+	case *backend == "sw":
+		if st := det2.SchedStats(); st.Completed > 0 {
+			printSchedStats(st.Instances, st.Completed, st.Late, st.Utilization,
+				st.LatencyP50, st.LatencyP90, st.LatencyP99)
+		}
+	}
 	fmt.Printf("classify-only: %v (%.0f samples/sec, %d workers)\n",
 		elapsed.Round(time.Millisecond), float64(consumed)/elapsed.Seconds(), poolSize)
+}
+
+// runRealtime simulates a -channels-pore flow cell on a virtual clock:
+// verdicts come from real DP on the selected back-end, task timing from
+// its service-time cost model queued through the deterministic EDF
+// scheduler, and the report is the measured keep-up verdict.
+func runRealtime(reads []*squiggle.Read, seq, backend string, workers, prefix int, threshold int32, channels, chunk int, rtSec float64) {
+	pipe, servers := buildPipeline(seq, backend, workers, 1, prefix, threshold)
+	cfg := minion.FlowCellConfig{
+		Config:       minion.DefaultConfig(),
+		ChunkSamples: chunk,
+		Servers:      servers,
+		DurationSec:  rtSec,
+		Seed:         1,
+	}
+	cfg.Channels = channels
+	cfg.BlockRatePerHour = 0
+	res, err := minion.RunFlowCell(pipe, cfg, minion.ReadPoolSource(reads))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("realtime: backend=%s servers=%d prefix=%d threshold=%d chunk=%d (%.3fs period), %gs simulated\n",
+		backend, servers, prefix, threshold, chunk, res.ChunkPeriodSec, rtSec)
+	fmt.Println(res)
+	fmt.Printf("yield: %d target / %d total bases, %d full reads, %d ejected; wait p99=%.3gs\n",
+		res.TargetBases, res.TotalBases, res.ReadsFull, res.ReadsEjected, res.Wait.P99)
 }
 
 // runPanel classifies the dataset against several references at once,

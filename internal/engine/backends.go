@@ -2,6 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
+	"sync"
 	"time"
 
 	"squigglefilter/internal/gpu"
@@ -52,6 +55,47 @@ func (k *swKernel) extend(row *sdtw.Row, chunk []int8, _ *Stats) sdtw.IntResult 
 
 func (k *swKernel) extendShard(shard *sdtw.Row, lo int, chunk []int8, haloIn, haloOut *sdtw.Halo, _ *Stats) sdtw.IntResult {
 	return sdtw.ExtendShard(shard, chunk, k.ref[lo:lo+shard.Len()], k.cfg, haloIn, haloOut)
+}
+
+// swCellSeconds is the self-calibrated software DP rate in seconds per
+// cell, measured once per process: a short timed Extend over synthetic
+// data, the way a deployment would calibrate the software classifier
+// against its own host before promising a real-time channel count.
+var swCellSeconds = sync.OnceValue(func() float64 {
+	const (
+		calRef   = 4096
+		calChunk = 256
+		reps     = 3
+	)
+	rng := rand.New(rand.NewSource(1))
+	ref := make([]int8, calRef)
+	chunk := make([]int8, calChunk)
+	for i := range ref {
+		ref[i] = int8(rng.Intn(256) - 128)
+	}
+	for i := range chunk {
+		chunk[i] = int8(rng.Intn(256) - 128)
+	}
+	cfg := sdtw.DefaultIntConfig()
+	row := sdtw.NewRow(calRef)
+	best := math.MaxFloat64
+	for r := 0; r < reps; r++ {
+		row.Reset()
+		start := time.Now()
+		sdtw.Extend(row, chunk, ref, cfg)
+		if s := time.Since(start).Seconds() / (calRef * calChunk); s < best {
+			best = s
+		}
+	}
+	return best
+})
+
+func (k *swKernel) serviceTime(chunkSamples int) time.Duration {
+	if chunkSamples <= 0 {
+		return 0
+	}
+	cells := float64(chunkSamples) * float64(len(k.ref))
+	return time.Duration(cells * swCellSeconds() * float64(time.Second))
 }
 
 // NewHardware returns the cycle-accurate systolic-tile back-end. Costs and
@@ -116,6 +160,14 @@ func (k *hwKernel) extend(row *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult
 	return res
 }
 
+// serviceTime is exact from the tile/tile-group cycle ledger at the
+// synthesized clock: the per-pass load + wavefront cycles ExtendRow
+// charges plus the normalizer front-end, with no queueing — queueing is
+// the scheduler's to measure.
+func (k *hwKernel) serviceTime(chunkSamples int) time.Duration {
+	return hw.ExtendLatency(chunkSamples, k.dev.RefLen())
+}
+
 // NewGPU returns the calibrated GPU-baseline back-end: it runs the same
 // integer sDTW arithmetic as the software back-end (verdicts are
 // bit-identical) and models the kernel latency the device would take from
@@ -138,7 +190,18 @@ func (k *gpuKernel) refLen() int  { return len(k.ref) }
 
 func (k *gpuKernel) extend(row *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult {
 	res := sdtw.Extend(row, chunk, k.ref, k.cfg)
-	ops := sdtw.TotalOps(len(chunk), len(k.ref))
-	st.Latency += time.Duration(k.dev.SDTWSeconds(ops) * float64(time.Second))
+	st.Latency += k.serviceTime(len(chunk))
 	return res
+}
+
+// serviceTime is the calibrated device envelope's kernel latency for one
+// chunk extension — the same quantity extend accumulates into
+// Stats.Latency, so the scheduler's cost model and the per-read stats
+// cannot disagree.
+func (k *gpuKernel) serviceTime(chunkSamples int) time.Duration {
+	if chunkSamples <= 0 {
+		return 0
+	}
+	ops := sdtw.TotalOps(chunkSamples, len(k.ref))
+	return time.Duration(k.dev.SDTWSeconds(ops) * float64(time.Second))
 }

@@ -100,6 +100,13 @@ type kernel interface {
 	// returns the best cost over the row; performance accounting
 	// accumulates into st.
 	extend(row *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult
+	// serviceTime models the wall-clock cost of one extend call over a
+	// normalized chunk of chunkSamples samples — the price the scheduler
+	// charges a task. The hardware kernel derives it exactly from the
+	// tile/tile-group cycle ledger at the synthesized clock; the GPU
+	// kernel from the calibrated device envelope; the software kernel
+	// self-calibrates a cells-per-second rate on first use.
+	serviceTime(chunkSamples int) time.Duration
 }
 
 // shardKernel is a kernel whose reference dimension can be partitioned:
@@ -153,16 +160,19 @@ func (s *stager) Name() string { return s.k.name() }
 func (s *stager) RefLen() int  { return s.k.refLen() }
 
 // newSession wires a Session to this back-end's kernel and row pool. The
-// schedule must already be validated.
+// schedule must already be validated. Direct back-end sessions never wait
+// on a scheduler, so their extend hook is infallible.
 func (s *stager) newSession(stages []sdtw.Stage) *Session {
 	row := s.pool.Get().(*sdtw.Row)
 	row.Reset()
-	extend := s.k.extend
+	extend := func(row *sdtw.Row, chunk []int8, st *Stats) (sdtw.IntResult, error) {
+		return s.k.extend(row, chunk, st), nil
+	}
 	if s.shardWidth > 0 {
 		sk := s.k.(shardKernel)
 		sr := sdtw.ShardRow(row, s.shardWidth)
-		extend = func(_ *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult {
-			return extendSharded(sk, sr, chunk, st)
+		extend = func(_ *sdtw.Row, chunk []int8, st *Stats) (sdtw.IntResult, error) {
+			return extendSharded(sk, sr, chunk, st), nil
 		}
 	}
 	return newSession(stages, row, extend, func(r *sdtw.Row) { s.pool.Put(r) })

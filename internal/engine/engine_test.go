@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -203,7 +204,10 @@ func TestPipelineBatchMatchesSerial(t *testing.T) {
 	for i, r := range reads {
 		serial[i] = pipe.Classify(r)
 	}
-	batch := pipe.ClassifyBatch(reads)
+	batch, err := pipe.ClassifyBatch(context.Background(), reads)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range reads {
 		if batch[i].Decision != serial[i].Decision || batch[i].Cost != serial[i].Cost {
 			t.Fatalf("read %d: batch {%v %d} != serial {%v %d}",
@@ -262,7 +266,7 @@ func TestPipelineStream(t *testing.T) {
 	}
 	in := make(chan Job)
 	out := make(chan StreamResult, n)
-	go pipe.ClassifyStream(in, out)
+	go pipe.ClassifyStream(context.Background(), in, out)
 	go func() {
 		for i, r := range reads {
 			in <- Job{ID: i, Samples: r}

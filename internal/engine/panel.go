@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -128,7 +129,9 @@ func (p *Panel) Classify(samples []int16) PanelResult {
 func (p *Panel) ClassifyBatch(reads [][]int16) []PanelResult {
 	per := make([][]Result, len(p.targets))
 	p.runTargets(func(ti int) {
-		per[ti] = p.targets[ti].Pipeline.ClassifyBatch(reads)
+		// The background context is never cancelled, so the error is
+		// structurally nil.
+		per[ti], _ = p.targets[ti].Pipeline.ClassifyBatch(context.Background(), reads)
 	})
 	out := make([]PanelResult, len(reads))
 	for i := range reads {

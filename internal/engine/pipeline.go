@@ -1,27 +1,38 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"squigglefilter/internal/engine/sched"
 	"squigglefilter/internal/sdtw"
 )
 
-// Pipeline shards reads across a pool of back-end instances — the software
-// analogue of the accelerator's NumTiles independent tiles. It is safe for
-// concurrent use even when the underlying back-end is not: every
-// classification borrows an instance exclusively for its duration, and
-// live Sessions (NewSession) borrow one only while crossing a stage
-// boundary, so many sequencing channels multiplex over few instances.
+// Pipeline schedules reads across a pool of back-end instances — the
+// software analogue of the accelerator's NumTiles independent tiles. All
+// concurrency paths — one-shot Classify, ClassifyBatch, ClassifyStream,
+// live Sessions and PanelSessions, and the sharded (shard, block)
+// wavefront — dispatch their DP work through one earliest-deadline-first
+// scheduler (internal/engine/sched): a task borrows an instance
+// exclusively for the duration of one pure-compute extension and never
+// blocks while holding it, so any mix of workloads shares even a
+// 1-instance pool without deadlock.
 type Pipeline struct {
 	stages []sdtw.Stage
-	insts  chan Backend
+	sch    *sched.Scheduler
+	insts  []Backend
 	n      int
 	refLen int
 	// sessionable records whether every instance is an engine-built
 	// stager, whose kernel NewSession can drive incrementally.
 	sessionable bool
+	// svc is the per-stage-chunk service-time model of the instances'
+	// kernel (nil for back-ends this package did not build). It prices
+	// scheduler tasks so utilization and deadlines are meaningful.
+	svc func(chunkSamples int) time.Duration
 	// rows pools DP rows for sessions, which outlive any one instance
 	// borrow (the session parks its row like the hardware parks rows in
 	// DRAM between stages).
@@ -33,6 +44,10 @@ type Pipeline struct {
 	shards     int
 	// halos recycles the boundary traces the wavefront exchanges.
 	halos sync.Pool
+	// rtWindow, when positive, is the real-time decision window in
+	// nanoseconds: scheduler tasks get deadline now+window, making EDF
+	// prefer the most urgent channel's work (SetRealtime).
+	rtWindow atomic.Int64
 }
 
 // shardBlockSamples is the wavefront granularity of the parallel sharded
@@ -51,7 +66,7 @@ func NewPipeline(factory func() (Backend, error), instances int, stages []sdtw.S
 	if instances <= 0 {
 		instances = 1
 	}
-	insts := make(chan Backend, instances)
+	insts := make([]Backend, instances)
 	refLen := 0
 	sessionable := true
 	for i := 0; i < instances; i++ {
@@ -67,9 +82,20 @@ func NewPipeline(factory func() (Backend, error), instances int, stages []sdtw.S
 		if _, ok := b.(*stager); !ok {
 			sessionable = false
 		}
-		insts <- b
+		insts[i] = b
 	}
-	p := &Pipeline{stages: stages, insts: insts, n: instances, refLen: refLen, sessionable: sessionable, shards: 1}
+	p := &Pipeline{
+		stages:      stages,
+		sch:         sched.New(instances),
+		insts:       insts,
+		n:           instances,
+		refLen:      refLen,
+		sessionable: sessionable,
+		shards:      1,
+	}
+	if st, ok := insts[0].(*stager); ok {
+		p.svc = st.k.serviceTime
+	}
 	p.rows.New = func() any { return sdtw.NewRow(refLen) }
 	p.halos.New = func() any { return &sdtw.Halo{} }
 	return p, nil
@@ -96,11 +122,8 @@ func (p *Pipeline) SetShards(shards int) error {
 		return fmt.Errorf("engine: pipeline back-ends do not support incremental sessions")
 	}
 	// Every instance comes from the same factory; inspecting one suffices.
-	b := <-p.insts
-	_, ok := b.(*stager).k.(shardKernel)
-	p.insts <- b
-	if !ok {
-		return fmt.Errorf("engine: %s back-end cannot extend reference shards (hw shards across tiles via NewHardwareTiles instead)", b.Name())
+	if _, ok := p.insts[0].(*stager).k.(shardKernel); !ok {
+		return fmt.Errorf("engine: %s back-end cannot extend reference shards (hw shards across tiles via NewHardwareTiles instead)", p.insts[0].Name())
 	}
 	width := sdtw.ShardWidth(p.refLen, shards)
 	if width >= p.refLen {
@@ -110,6 +133,19 @@ func (p *Pipeline) SetShards(shards int) error {
 	p.shards = (p.refLen + width - 1) / width
 	p.shardWidth = width
 	return nil
+}
+
+// SetRealtime configures the real-time decision window: every scheduler
+// task submitted after the call carries deadline now+window, so the EDF
+// queue serves the most urgent channel first and SchedStats counts
+// deadline misses. window is the delivery cadence a live loop must keep up
+// with (one chunk period, ~0.1 s on a MinION channel); <= 0 restores
+// best-effort FIFO scheduling. Safe to call concurrently.
+func (p *Pipeline) SetRealtime(window time.Duration) {
+	if window < 0 {
+		window = 0
+	}
+	p.rtWindow.Store(int64(window))
 }
 
 // Shards returns the configured reference shard count (1 when unsharded).
@@ -128,29 +164,102 @@ func (p *Pipeline) Stages() []sdtw.Stage {
 	return out
 }
 
+// ServiceTime is the instances' modeled cost of extending a DP row by one
+// normalized stage chunk of chunkSamples samples: exact from the cycle
+// ledger for hw, from the calibrated device envelope for gpu, and
+// self-calibrated for sw. It returns 0 for back-ends this package did not
+// build. The virtual-time flow cell (internal/minion) prices its tasks
+// with this model.
+func (p *Pipeline) ServiceTime(chunkSamples int) time.Duration {
+	if p.svc == nil || chunkSamples <= 0 {
+		return 0
+	}
+	return p.svc(chunkSamples)
+}
+
+// readServiceTime prices a whole staged read: the sum of its per-stage
+// chunk extensions under the pipeline's schedule.
+func (p *Pipeline) readServiceTime(totalSamples int) time.Duration {
+	if p.svc == nil || totalSamples <= 0 {
+		return 0
+	}
+	var total time.Duration
+	prev := 0
+	for _, st := range p.stages {
+		if totalSamples <= prev {
+			break
+		}
+		n := st.PrefixSamples - prev
+		if totalSamples < st.PrefixSamples {
+			n = totalSamples - prev
+		}
+		total += p.svc(n)
+		prev += n
+		if totalSamples <= st.PrefixSamples {
+			return total
+		}
+	}
+	return total
+}
+
+// SchedStats snapshots the scheduler's accounting: utilization, completed
+// and late task counts, and wait/latency percentiles over recent tasks.
+func (p *Pipeline) SchedStats() sched.Stats { return p.sch.Stats() }
+
+// task assembles the scheduler task for a chunk of the given size,
+// attaching the real-time deadline when one is configured.
+func (p *Pipeline) task(cost time.Duration) sched.Task {
+	t := sched.Task{Cost: cost}
+	if w := p.rtWindow.Load(); w > 0 {
+		t.Deadline = p.sch.Now() + time.Duration(w)
+	}
+	return t
+}
+
+// do borrows an instance through the scheduler for one pure-compute call.
+func (p *Pipeline) do(ctx context.Context, cost time.Duration, fn func(Backend)) error {
+	idx, err := p.sch.Acquire(ctx, p.task(cost))
+	if err != nil {
+		return err
+	}
+	defer p.sch.Release(idx)
+	fn(p.insts[idx])
+	return nil
+}
+
 // NewSession starts an incremental classification scheduled over the
 // instance pool: the session's DP row and stage buffer park inside the
 // session (like the hardware's DRAM-parked rows), and an instance is
 // borrowed only for the duration of each stage-boundary DP extension, so
 // arbitrarily many live channels can hold open sessions over n instances.
 // Sessions are safe to drive from concurrent goroutines (one goroutine
-// per session); the instance pool serializes the DP work.
+// per session); the scheduler serializes the DP work.
 //
 // It errors when the pipeline was built over back-ends this package did
 // not construct (their kernels cannot be driven incrementally).
 func (p *Pipeline) NewSession() (*Session, error) {
+	return p.NewSessionContext(context.Background())
+}
+
+// NewSessionContext is NewSession bound to a context: a Feed waiting for
+// an instance returns when ctx is cancelled (the session abandons itself
+// and Session.Err reports the cause), so a stuck or shut-down consumer
+// cannot leak a blocked channel goroutine.
+func (p *Pipeline) NewSessionContext(ctx context.Context) (*Session, error) {
 	if !p.sessionable {
 		return nil, fmt.Errorf("engine: pipeline back-ends do not support incremental sessions")
 	}
 	row := p.rows.Get().(*sdtw.Row)
 	row.Reset()
-	extend := func(row *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult {
-		b := <-p.insts
-		defer func() { p.insts <- b }()
-		return b.(*stager).k.extend(row, chunk, st)
+	extend := func(row *sdtw.Row, chunk []int8, st *Stats) (sdtw.IntResult, error) {
+		var r sdtw.IntResult
+		err := p.do(ctx, p.ServiceTime(len(chunk)), func(b Backend) {
+			r = b.(*stager).k.extend(row, chunk, st)
+		})
+		return r, err
 	}
 	if p.shardWidth > 0 {
-		extend = p.shardedExtend(sdtw.ShardRow(row, p.shardWidth))
+		extend = p.shardedExtend(ctx, sdtw.ShardRow(row, p.shardWidth))
 	}
 	return newSession(p.stages, row, extend, func(r *sdtw.Row) { p.rows.Put(r) }), nil
 }
@@ -160,9 +269,11 @@ func (p *Pipeline) NewSession() (*Session, error) {
 // its own goroutine, consuming its left neighbour's halo trace per block
 // and producing its own; an instance is borrowed only for the duration of
 // one block's DP, never while waiting on a halo, so any mix of sharded and
-// unsharded work can share the pool without deadlock.
-func (p *Pipeline) shardedExtend(sr *sdtw.ShardedRow) func(*sdtw.Row, []int8, *Stats) sdtw.IntResult {
-	return func(_ *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult {
+// unsharded work can share the pool without deadlock. On cancellation a
+// shard propagates a nil halo to its right neighbour, which unwinds the
+// whole wavefront without blocking.
+func (p *Pipeline) shardedExtend(ctx context.Context, sr *sdtw.ShardedRow) func(*sdtw.Row, []int8, *Stats) (sdtw.IntResult, error) {
+	return func(_ *sdtw.Row, chunk []int8, st *Stats) (sdtw.IntResult, error) {
 		S := sr.NumShards()
 		nb := (len(chunk) + shardBlockSamples - 1) / shardBlockSamples
 		if nb == 0 {
@@ -177,6 +288,12 @@ func (p *Pipeline) shardedExtend(sr *sdtw.ShardedRow) func(*sdtw.Row, []int8, *S
 		}
 		results := make([]sdtw.IntResult, S)
 		perShard := make([]Stats, S)
+		errs := make([]error, S)
+		// A block is priced at its share of the full-row chunk extension.
+		blockCost := time.Duration(0)
+		if c := p.ServiceTime(len(chunk)); c > 0 {
+			blockCost = c / time.Duration(S*nb)
+		}
 		var wg sync.WaitGroup
 		for k := 0; k < S; k++ {
 			wg.Add(1)
@@ -184,37 +301,61 @@ func (p *Pipeline) shardedExtend(sr *sdtw.ShardedRow) func(*sdtw.Row, []int8, *S
 				defer wg.Done()
 				shard := sr.Shard(k)
 				lo, _ := sr.Bounds(k)
+				aborted := false
 				for b := 0; b < nb; b++ {
-					blockLo := b * shardBlockSamples
-					blockHi := blockLo + shardBlockSamples
-					if blockHi > len(chunk) {
-						blockHi = len(chunk)
-					}
-					block := chunk[blockLo:blockHi]
 					var in *sdtw.Halo
 					if k > 0 {
-						in = <-bounds[k-1]
+						// A nil halo from the left neighbour signals that
+						// it unwound; propagate and stop computing.
+						if in = <-bounds[k-1]; in == nil {
+							aborted = true
+						}
 					}
-					var out *sdtw.Halo
-					if k < S-1 {
-						out = p.halos.Get().(*sdtw.Halo)
+					if !aborted && errs[k] == nil {
+						idx, err := p.sch.Acquire(ctx, p.task(blockCost))
+						if err != nil {
+							errs[k] = err
+							aborted = true
+						} else {
+							blockLo := b * shardBlockSamples
+							blockHi := blockLo + shardBlockSamples
+							if blockHi > len(chunk) {
+								blockHi = len(chunk)
+							}
+							block := chunk[blockLo:blockHi]
+							var out *sdtw.Halo
+							if k < S-1 {
+								out = p.halos.Get().(*sdtw.Halo)
+							}
+							r := p.insts[idx].(*stager).k.(shardKernel).extendShard(shard, lo, block, in, out, &perShard[k])
+							p.sch.Release(idx)
+							if in != nil {
+								p.halos.Put(in)
+							}
+							if k < S-1 {
+								bounds[k] <- out
+							}
+							if b == nb-1 {
+								results[k] = r
+							}
+							continue
+						}
 					}
-					inst := <-p.insts
-					r := inst.(*stager).k.(shardKernel).extendShard(shard, lo, block, in, out, &perShard[k])
-					p.insts <- inst
 					if in != nil {
 						p.halos.Put(in)
 					}
 					if k < S-1 {
-						bounds[k] <- out
-					}
-					if b == nb-1 {
-						results[k] = r
+						bounds[k] <- nil
 					}
 				}
 			}(k)
 		}
 		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return sdtw.IntResult{EndPos: -1}, err
+			}
+		}
 		best := sdtw.IntResult{EndPos: -1}
 		for k := 0; k < S; k++ {
 			lo, _ := sr.Bounds(k)
@@ -224,75 +365,56 @@ func (p *Pipeline) shardedExtend(sr *sdtw.ShardedRow) func(*sdtw.Row, []int8, *S
 			st.Latency += perShard[k].Latency
 		}
 		sr.Row().Samples += len(chunk)
-		return best
+		return best, nil
 	}
 }
 
-// Classify classifies one read on a borrowed instance; with SetShards
-// configured, the read's shards wavefront across the pool instead, so even
-// a single classification uses every idle instance.
+// Classify classifies one read on a scheduler-borrowed instance; with
+// SetShards configured, the read's shards wavefront across the pool
+// instead, so even a single classification uses every idle instance.
 func (p *Pipeline) Classify(samples []int16) Result {
+	r, err := p.classify(context.Background(), samples)
+	if err != nil {
+		// Unreachable: the background context is never cancelled.
+		panic("engine: " + err.Error())
+	}
+	return r
+}
+
+// classify is Classify under a context: the single read path every
+// concurrent entry point (batch, stream) funnels through.
+func (p *Pipeline) classify(ctx context.Context, samples []int16) (Result, error) {
 	if p.shardWidth > 0 {
-		sess, err := p.NewSession()
+		sess, err := p.NewSessionContext(ctx)
 		if err != nil {
 			// Unreachable: SetShards only enables sharding on sessionable
 			// engine-built back-ends.
 			panic("engine: " + err.Error())
 		}
 		sess.Feed(samples)
-		return sess.Finalize()
+		res := sess.Finalize()
+		return res, sess.Err()
 	}
-	b := <-p.insts
-	res := b.Classify(samples, p.stages)
-	p.insts <- b
-	return res
+	var res Result
+	err := p.do(ctx, p.readServiceTime(len(samples)), func(b Backend) {
+		res = b.Classify(samples, p.stages)
+	})
+	return res, err
 }
 
-// ClassifyBatch classifies a batch of reads concurrently across the
-// instance pool, returning results in input order. With SetShards
-// configured, each read additionally wavefronts its shards across the
-// pool, so small batches still keep every instance busy.
-func (p *Pipeline) ClassifyBatch(reads [][]int16) []Result {
-	out := make([]Result, len(reads))
-	workers := p.n
-	if workers > len(reads) {
-		workers = len(reads)
-	}
-	if p.shardWidth > 0 {
-		// Sharded classifications borrow instances per (shard, block) task
-		// inside Classify; the read-level workers here must therefore not
-		// hold instances of their own, or a 1-instance pool would deadlock.
-		if workers <= 1 {
-			for i, r := range reads {
-				out[i] = p.Classify(r)
-			}
-			return out
-		}
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(reads) {
-						return
-					}
-					out[i] = p.Classify(reads[i])
-				}
-			}()
-		}
-		wg.Wait()
-		return out
+// fanOut runs fn(i) for i in [0, n) over a bounded set of goroutines that
+// all dispatch through the scheduler — the one fan-out helper behind
+// ClassifyBatch and ClassifyStream. It stops early when ctx is cancelled.
+func (p *Pipeline) fanOut(ctx context.Context, n int, fn func(i int)) {
+	workers := 2 * p.n // keep the EDF queue fed while results drain
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		b := <-p.insts
-		for i, r := range reads {
-			out[i] = b.Classify(r, p.stages)
+		for i := 0; i < n && ctx.Err() == nil; i++ {
+			fn(i)
 		}
-		p.insts <- b
-		return out
+		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -300,19 +422,33 @@ func (p *Pipeline) ClassifyBatch(reads [][]int16) []Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			b := <-p.insts
-			defer func() { p.insts <- b }()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
-				if i >= len(reads) {
+				if i >= n {
 					return
 				}
-				out[i] = b.Classify(reads[i], p.stages)
+				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+}
+
+// ClassifyBatch classifies a batch of reads concurrently across the
+// instance pool, returning results in input order. With SetShards
+// configured, each read additionally wavefronts its shards across the
+// pool, so small batches still keep every instance busy. On context
+// cancellation it stops scheduling new reads, abandons in-flight ones,
+// and returns the context's error alongside the partial results (reads
+// never scheduled hold the zero Result).
+func (p *Pipeline) ClassifyBatch(ctx context.Context, reads [][]int16) ([]Result, error) {
+	out := make([]Result, len(reads))
+	p.fanOut(ctx, len(reads), func(i int) {
+		if r, err := p.classify(ctx, reads[i]); err == nil {
+			out[i] = r
+		}
+	})
+	return out, ctx.Err()
 }
 
 // Job tags a read for streaming classification.
@@ -331,28 +467,41 @@ type StreamResult struct {
 // across the instance pool and emitting results on out in completion order
 // (not input order — use Job.ID to correlate). It closes out when done and
 // blocks until then; run it in its own goroutine to overlap with the
-// producer, as a sequencer's Read Until loop would.
-func (p *Pipeline) ClassifyStream(in <-chan Job, out chan<- StreamResult) {
+// producer, as a sequencer's Read Until loop would. On context
+// cancellation it stops consuming jobs, drops in-flight results rather
+// than blocking on a stuck out consumer, closes out, and returns the
+// context's error — so no worker goroutine can leak.
+func (p *Pipeline) ClassifyStream(ctx context.Context, in <-chan Job, out chan<- StreamResult) error {
+	workers := 2 * p.n
 	var wg sync.WaitGroup
-	for w := 0; w < p.n; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if p.shardWidth > 0 {
-				// Sharded reads borrow instances per block inside
-				// Classify; holding one here would deadlock a small pool.
-				for j := range in {
-					out <- StreamResult{ID: j.ID, Result: p.Classify(j.Samples)}
+			for {
+				var j Job
+				var ok bool
+				select {
+				case <-ctx.Done():
+					return
+				case j, ok = <-in:
+					if !ok {
+						return
+					}
 				}
-				return
-			}
-			b := <-p.insts
-			defer func() { p.insts <- b }()
-			for j := range in {
-				out <- StreamResult{ID: j.ID, Result: b.Classify(j.Samples, p.stages)}
+				r, err := p.classify(ctx, j.Samples)
+				if err != nil {
+					return
+				}
+				select {
+				case out <- StreamResult{ID: j.ID, Result: r}:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	close(out)
+	return ctx.Err()
 }

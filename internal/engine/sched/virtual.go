@@ -1,0 +1,218 @@
+package sched
+
+import (
+	"container/heap"
+	"math"
+	"time"
+)
+
+// VTask is one unit of work submitted to a Virtual scheduler: it arrives
+// at Release, should finish by Deadline, and occupies a server for Cost —
+// the back-end's ServiceTime for the stage chunk it models.
+type VTask struct {
+	Release  time.Duration
+	Deadline time.Duration // 0 = best-effort
+	Cost     time.Duration
+	// Tag identifies the task to the driving event loop (e.g. a flow-cell
+	// channel's pending decision).
+	Tag any
+}
+
+// Completion reports when a VTask ran.
+type Completion struct {
+	VTask
+	Start, Finish time.Duration
+}
+
+// Wait is the queueing delay before the task started.
+func (c Completion) Wait() time.Duration { return c.Start - c.Release }
+
+// Latency is release-to-finish — what a Read Until loop experiences as
+// decision latency.
+func (c Completion) Latency() time.Duration { return c.Finish - c.Release }
+
+// Late reports whether the task finished after its deadline.
+func (c Completion) Late() bool { return c.Deadline > 0 && c.Finish > c.Deadline }
+
+// vEntry is a pending virtual task.
+type vEntry struct {
+	VTask
+	seq uint64
+}
+
+// vReleaseHeap orders pending tasks by (Release, seq): tasks not yet
+// visible to the dispatch frontier.
+type vReleaseHeap []*vEntry
+
+func (h vReleaseHeap) Len() int { return len(h) }
+func (h vReleaseHeap) Less(i, j int) bool {
+	if h[i].Release != h[j].Release {
+		return h[i].Release < h[j].Release
+	}
+	return h[i].seq < h[j].seq
+}
+func (h vReleaseHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *vReleaseHeap) Push(x any)   { *h = append(*h, x.(*vEntry)) }
+func (h *vReleaseHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// vEDFHeap orders arrived tasks by (Deadline, seq), deadline 0 last —
+// the same rule as the concurrent Scheduler's queue.
+type vEDFHeap []*vEntry
+
+func (h vEDFHeap) Len() int { return len(h) }
+func (h vEDFHeap) Less(i, j int) bool {
+	di, dj := h[i].Deadline, h[j].Deadline
+	if di == 0 {
+		di = math.MaxInt64
+	}
+	if dj == 0 {
+		dj = math.MaxInt64
+	}
+	if di != dj {
+		return di < dj
+	}
+	return h[i].seq < h[j].seq
+}
+func (h vEDFHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *vEDFHeap) Push(x any)   { *h = append(*h, x.(*vEntry)) }
+func (h *vEDFHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// runHeap orders started tasks by finish time.
+type runHeap []Completion
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(i, j int) bool {
+	if h[i].Finish != h[j].Finish {
+		return h[i].Finish < h[j].Finish
+	}
+	return h[i].Start < h[j].Start
+}
+func (h runHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)   { *h = append(*h, x.(Completion)) }
+func (h *runHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Virtual is the deterministic virtual-time twin of Scheduler: the same
+// non-preemptive EDF policy over a pool of servers, driven by an event
+// loop. Submit tasks with their (virtual) release times, then AdvanceTo a
+// later instant to collect everything that finished by then. Because the
+// policy decides assignments only at server-free instants and ties break
+// on (deadline, submission order, server index), identical inputs always
+// produce identical schedules — the property the flow-cell tests pin.
+//
+// The driving loop must submit tasks in non-decreasing release order
+// relative to its AdvanceTo calls (a task may not be released in the
+// past); closed-loop simulations satisfy this by construction.
+type Virtual struct {
+	freeAt  []time.Duration
+	pending vReleaseHeap
+	arrived vEDFHeap
+	running runHeap
+	seq     uint64
+	busy    time.Duration
+}
+
+// NewVirtual builds a virtual scheduler over the given number of servers
+// (<= 0 means 1).
+func NewVirtual(servers int) *Virtual {
+	if servers <= 0 {
+		servers = 1
+	}
+	return &Virtual{freeAt: make([]time.Duration, servers)}
+}
+
+// Servers returns the pool size.
+func (v *Virtual) Servers() int { return len(v.freeAt) }
+
+// Pending returns the number of submitted tasks that have not started —
+// the backlog of an overloaded pool.
+func (v *Virtual) Pending() int { return len(v.pending) + len(v.arrived) }
+
+// Busy returns the total server time consumed by started tasks.
+func (v *Virtual) Busy() time.Duration { return v.busy }
+
+// Submit enqueues a task.
+func (v *Virtual) Submit(t VTask) {
+	e := &vEntry{VTask: t, seq: v.seq}
+	v.seq++
+	heap.Push(&v.pending, e)
+}
+
+// AdvanceTo starts every task the EDF policy would start by time t and
+// returns the completions with Finish <= t, ordered by finish time. Tasks
+// started but not yet finished stay running (non-preemptive) and are
+// returned by a later AdvanceTo.
+func (v *Virtual) AdvanceTo(t time.Duration) []Completion {
+	v.dispatch(t)
+	var out []Completion
+	for v.running.Len() > 0 && v.running[0].Finish <= t {
+		out = append(out, heap.Pop(&v.running).(Completion))
+	}
+	return out
+}
+
+// Drain runs every submitted task to completion and returns the remaining
+// completions in finish order.
+func (v *Virtual) Drain() []Completion {
+	return v.AdvanceTo(math.MaxInt64)
+}
+
+// NextFinish peeks the earliest finish among running tasks.
+func (v *Virtual) NextFinish() (time.Duration, bool) {
+	if v.running.Len() == 0 {
+		return 0, false
+	}
+	return v.running[0].Finish, true
+}
+
+// dispatch starts tasks whose start instant is <= t. At each server-free
+// instant f the policy picks the earliest-deadline task released by f; if
+// none has arrived, the server idles until the next release.
+func (v *Virtual) dispatch(t time.Duration) {
+	for v.pending.Len() > 0 || v.arrived.Len() > 0 {
+		// Earliest-free server; ties break on the lowest index.
+		si := 0
+		for i := 1; i < len(v.freeAt); i++ {
+			if v.freeAt[i] < v.freeAt[si] {
+				si = i
+			}
+		}
+		start := v.freeAt[si]
+		// Tasks released by the server-free instant are the EDF
+		// candidates; otherwise the server idles to the next release.
+		for v.pending.Len() > 0 && v.pending[0].Release <= start {
+			heap.Push(&v.arrived, heap.Pop(&v.pending).(*vEntry))
+		}
+		if v.arrived.Len() == 0 {
+			start = v.pending[0].Release
+			for v.pending.Len() > 0 && v.pending[0].Release <= start {
+				heap.Push(&v.arrived, heap.Pop(&v.pending).(*vEntry))
+			}
+		}
+		if start > t {
+			return
+		}
+		e := heap.Pop(&v.arrived).(*vEntry)
+		fin := start + e.Cost
+		v.freeAt[si] = fin
+		v.busy += e.Cost
+		heap.Push(&v.running, Completion{VTask: e.VTask, Start: start, Finish: fin})
+	}
+}

@@ -34,9 +34,11 @@ import (
 type Session struct {
 	stages []sdtw.Stage
 	// extend runs the back-end DP kernel over one normalized stage chunk.
-	// For direct back-end sessions it is the kernel itself; for pipeline
-	// sessions it borrows an instance for the duration of the call.
-	extend func(row *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult
+	// For direct back-end sessions it is the kernel itself (infallible);
+	// for pipeline sessions it borrows an instance through the scheduler
+	// for the duration of the call and errors when the session's context
+	// is cancelled while waiting.
+	extend func(row *sdtw.Row, chunk []int8, st *Stats) (sdtw.IntResult, error)
 	// release returns the DP row to its pool once the session is decided.
 	release func(*sdtw.Row)
 
@@ -46,10 +48,11 @@ type Session struct {
 	stage    int     // next stage to evaluate
 	res      Result
 	done     bool
+	err      error
 }
 
 func newSession(stages []sdtw.Stage, row *sdtw.Row,
-	extend func(*sdtw.Row, []int8, *Stats) sdtw.IntResult, release func(*sdtw.Row)) *Session {
+	extend func(*sdtw.Row, []int8, *Stats) (sdtw.IntResult, error), release func(*sdtw.Row)) *Session {
 	return &Session{
 		stages:  stages,
 		extend:  extend,
@@ -158,6 +161,12 @@ func (s *Session) Stream(samples []int16, chunkSamples int) (Result, bool) {
 // (its verdict is Continue).
 func (s *Session) Decided() bool { return s.res.Decision != sdtw.Continue }
 
+// Err reports why the session stopped without deciding: non-nil exactly
+// when the session's context was cancelled while its DP work waited for
+// an instance (Pipeline.NewSessionContext). A cancelled session behaves
+// like an abandoned one — done, row released, verdict unchanged.
+func (s *Session) Err() error { return s.err }
+
 // Abandon stops the session without deciding it: the DP row is released,
 // buffered signal is dropped, and the verdict stays whatever the last
 // evaluated stage reported (Continue when no boundary decided). Further
@@ -184,7 +193,16 @@ func (s *Session) SamplesBuffered() int { return len(s.buf) }
 // stage terminal regardless of its position in the schedule.
 func (s *Session) runStage(raw []int16, final bool) {
 	chunk := normalize.ApplyInt8(raw)
-	r := s.extend(s.row, chunk, &s.res.Stats)
+	r, err := s.extend(s.row, chunk, &s.res.Stats)
+	if err != nil {
+		// The session's context was cancelled while waiting for an
+		// instance: abandon without a decision. The verdict stays
+		// whatever the last evaluated stage reported and Err records the
+		// cause.
+		s.err = err
+		s.finish()
+		return
+	}
 	s.consumed += len(raw)
 	stage := s.stages[s.stage]
 	last := final || s.stage == len(s.stages)-1

@@ -266,7 +266,10 @@ func instrumentedSession(t *testing.T, ref []int8, stages []sdtw.Stage, releases
 	}
 	st := sw.(*stager)
 	row := sdtw.NewRow(st.k.refLen())
-	return newSession(stages, row, st.k.extend, func(*sdtw.Row) { *releases++ })
+	extend := func(row *sdtw.Row, chunk []int8, stats *Stats) (sdtw.IntResult, error) {
+		return st.k.extend(row, chunk, stats), nil
+	}
+	return newSession(stages, row, extend, func(*sdtw.Row) { *releases++ })
 }
 
 // TestSessionLeftoverPastLastStage: a chunk that crosses the last stage

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -69,7 +70,11 @@ func TestShardedPipelineParity(t *testing.T) {
 		for i, r := range reads {
 			requireResultEqual(t, "sharded Classify", pipe.Classify(r), want[i])
 		}
-		for i, got := range pipe.ClassifyBatch(reads) {
+		batch, berr := pipe.ClassifyBatch(context.Background(), reads)
+		if berr != nil {
+			t.Fatal(berr)
+		}
+		for i, got := range batch {
 			requireResultEqual(t, "sharded ClassifyBatch", got, want[i])
 		}
 		// Streaming sessions with a random chunk size, including 1-sample

@@ -509,3 +509,41 @@ func BenchmarkSystolicSweep2000x6000(b *testing.B) {
 		tile.Classify(query, nil)
 	}
 }
+
+// TestExtendCyclesMatchesLedger pins the analytical per-chunk service-time
+// model against the simulated ledger: ExtendCycles (the engine scheduler's
+// cost model) plus nothing must equal what ExtendRow actually charges plus
+// the normalizer front-end, for single- and multi-pass chunks, on a single
+// tile and on a cooperating TileGroup — so the price the scheduler quotes
+// and the cycles the simulation bills cannot drift apart.
+func TestExtendCyclesMatchesLedger(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, tc := range []struct{ n, m int }{{1, 1}, {128, 512}, {2000, 3000}, {2500, 3000}, {4100, 900}} {
+		query := randInt8(rng, tc.n)
+		ref := randInt8(rng, tc.m)
+		tile, err := NewTile(ref, sdtw.DefaultIntConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := sdtw.NewRow(tc.m)
+		_, stats := tile.ExtendRow(query, row, 0, false)
+		if got, want := stats.Cycles+NormCycles(tc.n), ExtendCycles(tc.n, tc.m); got != want {
+			t.Errorf("tile n=%d m=%d: ledger %d cycles, model %d", tc.n, tc.m, got, want)
+		}
+	}
+	// TileGroup: the group models one long virtual array, so the same
+	// formula holds with the full group-wide reference length.
+	for _, tc := range []struct{ n, m, tiles int }{{700, 5000, 3}, {2300, 4096, 2}} {
+		query := randInt8(rng, tc.n)
+		ref := randInt8(rng, tc.m)
+		g, err := NewTileGroup(ref, sdtw.DefaultIntConfig(), tc.tiles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := sdtw.NewRow(tc.m)
+		_, stats := g.ExtendRow(query, row, 0, false)
+		if got, want := stats.Cycles+NormCycles(tc.n), ExtendCycles(tc.n, tc.m); got != want {
+			t.Errorf("group n=%d m=%d tiles=%d: ledger %d cycles, model %d", tc.n, tc.m, tc.tiles, got, want)
+		}
+	}
+}

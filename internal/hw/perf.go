@@ -92,6 +92,36 @@ func ClassifyCycles(queryLen, refLen int) int64 {
 	return cycles
 }
 
+// ExtendCycles is the exact cycle cost of extending a DP row by one
+// normalized chunk of queryLen samples against an M-sample reference —
+// the per-stage-chunk ledger Tile.ExtendRow (and TileGroup.ExtendRow,
+// which models one long virtual array) accumulates, plus the normalizer
+// front-end's two passes over the chunk. It is the service-time model the
+// engine's scheduler prices hardware tasks with, and TestExtendCyclesMatchesLedger
+// pins it against the simulated ledger so the two cannot drift.
+func ExtendCycles(queryLen, refLen int) int64 {
+	if queryLen <= 0 || refLen <= 0 {
+		return 0
+	}
+	cycles := NormCycles(queryLen)
+	for queryLen > 0 {
+		n := queryLen
+		if n > PEsPerTile {
+			n = PEsPerTile
+		}
+		// Per pass: 2n load/latch cycles plus the (n + M - 1)-cycle
+		// wavefront, exactly as ExtendRow charges.
+		cycles += int64(2*n) + int64(n+refLen-1)
+		queryLen -= n
+	}
+	return cycles
+}
+
+// ExtendLatency converts ExtendCycles to wall-clock time at ClockHz.
+func ExtendLatency(queryLen, refLen int) time.Duration {
+	return time.Duration(float64(ExtendCycles(queryLen, refLen)) / ClockHz * float64(time.Second))
+}
+
 // Latency converts ClassifyCycles to wall-clock time at ClockHz.
 func Latency(queryLen, refLen int) time.Duration {
 	cycles := ClassifyCycles(queryLen, refLen)

@@ -176,20 +176,22 @@ func AUC(points []SweepPoint) float64 {
 
 // Summary describes a score distribution.
 type Summary struct {
-	N                  int
-	Mean, Std          float64
-	Min, Median, Max   float64
-	P10, P25, P75, P90 float64
+	N                       int
+	Mean, Std               float64
+	Min, Median, Max        float64
+	P10, P25, P75, P90, P99 float64
 }
 
-// Summarize computes distribution statistics of xs.
+// Summarize computes distribution statistics of xs. NaN values are
+// dropped before any statistic is computed (a NaN-poisoned mean or
+// percentile would silently corrupt every report downstream); a slice of
+// only NaNs summarizes like an empty one.
 func Summarize(xs []float64) Summary {
-	if len(xs) == 0 {
+	sorted := sanitize(xs)
+	if len(sorted) == 0 {
 		return Summary{}
 	}
-	s := Summary{N: len(xs)}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	s := Summary{N: len(sorted)}
 	var sum float64
 	for _, v := range sorted {
 		sum += v
@@ -202,17 +204,57 @@ func Summarize(xs []float64) Summary {
 	}
 	s.Std = math.Sqrt(sq / float64(len(sorted)))
 	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
-	s.Median = Percentile(sorted, 50)
-	s.P10 = Percentile(sorted, 10)
-	s.P25 = Percentile(sorted, 25)
-	s.P75 = Percentile(sorted, 75)
-	s.P90 = Percentile(sorted, 90)
+	s.Median = percentileSorted(sorted, 50)
+	s.P10 = percentileSorted(sorted, 10)
+	s.P25 = percentileSorted(sorted, 25)
+	s.P75 = percentileSorted(sorted, 75)
+	s.P90 = percentileSorted(sorted, 90)
+	s.P99 = percentileSorted(sorted, 99)
 	return s
 }
 
-// Percentile returns the p-th percentile (0-100) of sorted data by linear
-// interpolation. The input must already be sorted.
-func Percentile(sorted []float64, p float64) float64 {
+// String renders the latency-report view of the summary — the p50/p90/p99
+// triple scheduler and flow-cell reports lead with.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g max=%.4g",
+		s.N, s.Mean, s.Median, s.P90, s.P99, s.Max)
+}
+
+// sanitize returns xs sorted with NaNs removed, reusing xs when it is
+// already clean and sorted (the common fast path of repeated Percentile
+// calls over one sorted slice).
+func sanitize(xs []float64) []float64 {
+	clean := true
+	for i, v := range xs {
+		if math.IsNaN(v) || (i > 0 && v < xs[i-1]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return xs
+	}
+	out := make([]float64, 0, len(xs))
+	for _, v := range xs {
+		if !math.IsNaN(v) {
+			out = append(out, v)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Percentile returns the p-th percentile (0-100) of xs by linear
+// interpolation. Pre-sorted input is the fast path, but unsorted input is
+// sorted (into a copy) rather than silently interpolated out of order,
+// and NaN values are ignored; all-NaN or empty input returns 0.
+func Percentile(xs []float64, p float64) float64 {
+	return percentileSorted(sanitize(xs), p)
+}
+
+// percentileSorted is Percentile over input already known clean and
+// sorted (Summarize sanitizes once and interpolates many times).
+func percentileSorted(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}

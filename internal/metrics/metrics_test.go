@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -189,5 +190,60 @@ func TestBestF1PicksInteriorThreshold(t *testing.T) {
 	best := BestF1(targets, hosts)
 	if best.F1 <= 0.5 || best.F1 >= 1 {
 		t.Errorf("overlapping best F1 = %v, want interior value", best.F1)
+	}
+}
+
+// TestPercentileUnsortedAndNaN pins the hardening: Percentile must not
+// silently interpolate out-of-order data (it sorts a copy) and must
+// ignore NaNs rather than poison the result; Summarize likewise.
+func TestPercentileUnsortedAndNaN(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	unsorted := []float64{10, 3, 7, 1, 9, 5, 2, 8, 6, 4}
+	for _, p := range []float64{0, 10, 50, 90, 99, 100} {
+		if got, want := Percentile(unsorted, p), Percentile(sorted, p); got != want {
+			t.Errorf("p%.0f: unsorted %v != sorted %v", p, got, want)
+		}
+	}
+	// The unsorted input itself must not be mutated.
+	if unsorted[0] != 10 {
+		t.Error("Percentile mutated its input")
+	}
+
+	withNaN := []float64{3, math.NaN(), 1, math.NaN(), 2}
+	if got := Percentile(withNaN, 50); got != 2 {
+		t.Errorf("median with NaNs = %v, want 2", got)
+	}
+	if got := Percentile([]float64{math.NaN(), math.NaN()}, 50); got != 0 {
+		t.Errorf("all-NaN percentile = %v, want 0", got)
+	}
+
+	s := Summarize(withNaN)
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("Summarize dropped NaNs wrong: %+v", s)
+	}
+	if z := Summarize([]float64{math.NaN()}); z != (Summary{}) {
+		t.Errorf("all-NaN summary = %+v, want zero", z)
+	}
+}
+
+// TestSummaryP99AndString pins the latency-report additions: the P99
+// field and the p50/p90/p99 String rendering.
+func TestSummaryP99AndString(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	s := Summarize(xs)
+	if want := Percentile(xs, 99); s.P99 != want {
+		t.Errorf("P99 = %v, want %v", s.P99, want)
+	}
+	if s.P99 <= s.P90 || s.P99 > s.Max {
+		t.Errorf("P99 %v not between P90 %v and Max %v", s.P99, s.P90, s.Max)
+	}
+	got := s.String()
+	for _, frag := range []string{"n=100", "p50=", "p90=", "p99=", "max="} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("Summary.String() = %q missing %q", got, frag)
+		}
 	}
 }

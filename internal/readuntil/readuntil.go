@@ -14,6 +14,7 @@ import (
 
 	"squigglefilter/internal/engine"
 	"squigglefilter/internal/gpu"
+	"squigglefilter/internal/metrics"
 )
 
 // Params describes the specimen and sequencing setup.
@@ -175,6 +176,28 @@ func (p Params) targetBasesPerSecondPerChannel(c ClassifierModel) float64 {
 	tRead := p.ViralFraction*tViral + (1-p.ViralFraction)*tHost
 	targetPerRead := p.ViralFraction * c.TPR * float64(p.ViralReadBases)
 	return targetPerRead / tRead
+}
+
+// RuntimeMeasured is Runtime with the classifier's decision latency taken
+// from a *measured* distribution (e.g. the virtual-time flow cell's
+// per-decision latency summary, queueing included) instead of a scalar
+// assumption. Latency enters the expected-time model linearly through
+// decisionBases, so the distribution's mean is the sufficient statistic
+// here; the tail (p99 vs the chunk deadline) is what the flow-cell
+// simulation's keep-up verdict measures directly. The summary must be in
+// seconds. This closes the loop the scalar LatencySec left open: the
+// runtime prediction and the live simulation consume the same measured
+// distribution, and TestFlowCellCrossValidatesRuntimeMeasured pins their
+// agreement.
+//
+// Validity domain: like Runtime, the model assumes an ejection decision
+// lands while its read is still translocating. A latency comparable to
+// the read duration instead *rescues* would-be ejections (the read
+// finishes before the decision arrives) — a regime only the flow-cell
+// simulation captures.
+func (p Params) RuntimeMeasured(c ClassifierModel, latency metrics.Summary) float64 {
+	c.LatencySec = latency.Mean
+	return p.Runtime(c)
 }
 
 // Speedup is RuntimeNoRU / Runtime — the Read Until benefit factor

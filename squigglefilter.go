@@ -50,6 +50,7 @@
 package squigglefilter
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -120,6 +121,42 @@ type DetectorConfig struct {
 	// bit-identical to unsharded ones by construction; the GPU baseline
 	// models whole-kernel launches and ignores Shards.
 	Shards int
+	// Realtime, when set (ClockHz > 0), puts the detector's scheduler in
+	// deadline mode: every DP task carries a decision deadline of one
+	// chunk-delivery period, the earliest-deadline task runs first, and
+	// SchedStats counts deadline misses — the provisioning question
+	// ("does this back-end keep up with the sequencer?") becomes a
+	// measured output. The zero value keeps best-effort scheduling.
+	Realtime RealtimeConfig
+}
+
+// RealtimeConfig provisions the detector for live Read Until service.
+type RealtimeConfig struct {
+	// Channels records the number of concurrently delivering sequencer
+	// channels the detector is provisioned for (512 on a MinION). It is
+	// a provisioning label surfaced by Detector.Realtime() for reports
+	// and tooling defaults; scheduling itself is governed by ClockHz
+	// (and verdicts are never affected).
+	Channels int
+	// ClockHz is the per-channel raw sample rate (~4,000 on a MinION).
+	// With the standard ~400-sample delivery granularity it sets the
+	// decision deadline window: a chunk's DP should finish before the
+	// next chunk lands, i.e. within 400/ClockHz seconds.
+	ClockHz float64
+}
+
+// realtimeChunkSamples is the per-delivery granularity the deadline
+// window assumes: ~0.1 s of signal at the MinION's ~4 kHz channel clock,
+// matching the Read Until API's delivery cadence.
+const realtimeChunkSamples = 400
+
+// window converts the config to the scheduler's deadline window
+// (0 = best-effort).
+func (rc RealtimeConfig) window() time.Duration {
+	if rc.ClockHz <= 0 {
+		return 0
+	}
+	return time.Duration(realtimeChunkSamples / rc.ClockHz * float64(time.Second))
 }
 
 // DefaultThresholdPerSample is a robust default ejection threshold in
@@ -130,11 +167,12 @@ const DefaultThresholdPerSample = 3
 // Detector classifies raw nanopore read prefixes against one target
 // genome. It is safe for concurrent use.
 type Detector struct {
-	name   string
-	ref    *pore.Reference
-	filter *sdtw.Filter
-	cfg    sdtw.IntConfig
-	stages []sdtw.Stage
+	name     string
+	ref      *pore.Reference
+	filter   *sdtw.Filter
+	cfg      sdtw.IntConfig
+	stages   []sdtw.Stage
+	realtime RealtimeConfig
 
 	sw     engine.Backend   // direct software path (concurrency-safe)
 	gpu    engine.Backend   // calibrated GPU baseline (concurrency-safe)
@@ -225,16 +263,21 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("squigglefilter: %w", err)
 	}
+	if w := cfg.Realtime.window(); w > 0 {
+		swPipe.SetRealtime(w)
+		hwPipe.SetRealtime(w)
+	}
 	return &Detector{
-		name:   cfg.Name,
-		ref:    ref,
-		filter: filter,
-		cfg:    icfg,
-		stages: internalStages,
-		sw:     swBackend,
-		gpu:    gpuBackend,
-		swPipe: swPipe,
-		hwPipe: hwPipe,
+		name:     cfg.Name,
+		ref:      ref,
+		filter:   filter,
+		cfg:      icfg,
+		stages:   internalStages,
+		realtime: cfg.Realtime,
+		sw:       swBackend,
+		gpu:      gpuBackend,
+		swPipe:   swPipe,
+		hwPipe:   hwPipe,
 	}, nil
 }
 
@@ -251,6 +294,43 @@ func (d *Detector) Workers() int { return d.swPipe.Workers() }
 // Shards returns the resolved reference shard count of the software
 // classification paths (1 when unsharded).
 func (d *Detector) Shards() int { return d.swPipe.Shards() }
+
+// Realtime returns the configured real-time provisioning (zero when the
+// detector schedules best-effort).
+func (d *Detector) Realtime() RealtimeConfig { return d.realtime }
+
+// SchedStats summarizes the detector's software scheduler: every
+// Classify/ClassifyBatch read, live Session stage extension, and sharded
+// (shard, block) task dispatches through one earliest-deadline-first
+// queue, and this is its accounting — the measured side of the paper's
+// "keeps up with the sequencer" claim.
+type SchedStats struct {
+	// Instances is the back-end pool size tasks are scheduled over.
+	Instances int
+	// Completed counts finished DP tasks; Late those that finished after
+	// their real-time deadline (always 0 without DetectorConfig.Realtime).
+	Completed, Late int64
+	// Utilization is the fraction of pool capacity spent running DP.
+	Utilization float64
+	// LatencyP50/P90/P99 are submit-to-finish decision latency
+	// percentiles over recent tasks (queueing included).
+	LatencyP50, LatencyP90, LatencyP99 time.Duration
+}
+
+// SchedStats snapshots the software pipeline's scheduler accounting.
+func (d *Detector) SchedStats() SchedStats {
+	st := d.swPipe.SchedStats()
+	secs := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	return SchedStats{
+		Instances:   st.Instances,
+		Completed:   st.Completed,
+		Late:        st.Late,
+		Utilization: st.Utilization(),
+		LatencyP50:  secs(st.Latency.Median),
+		LatencyP90:  secs(st.Latency.P90),
+		LatencyP99:  secs(st.Latency.P99),
+	}
+}
 
 // Verdict is the outcome of classifying one read prefix.
 type Verdict struct {
@@ -329,7 +409,9 @@ func (s *Session) Decided() bool { return s.s.Decided() }
 // instances). Results are in input order and identical to calling Classify
 // on each read serially.
 func (d *Detector) ClassifyBatch(reads [][]int16) []Verdict {
-	res := d.swPipe.ClassifyBatch(reads)
+	// The background context is never cancelled, so the error is
+	// structurally nil.
+	res, _ := d.swPipe.ClassifyBatch(context.Background(), reads)
 	out := make([]Verdict, len(res))
 	for i, r := range res {
 		out[i] = verdictFrom(r)

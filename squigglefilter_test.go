@@ -277,3 +277,55 @@ func TestMatchBonusKnobs(t *testing.T) {
 		t.Errorf("custom bonus not applied: %+v", custom.cfg)
 	}
 }
+
+// TestRealtimeConfigAndSchedStats: a detector provisioned for real-time
+// service schedules every DP task with a decision deadline, classifies
+// bit-identically to a best-effort detector, and reports scheduler
+// accounting through the public SchedStats.
+func TestRealtimeConfigAndSchedStats(t *testing.T) {
+	g := &genome.Genome{Name: "rt-virus", Seq: genome.Random(rand.New(rand.NewSource(9)), 3000)}
+	base, err := NewDetector(DetectorConfig{Name: g.Name, Sequence: g.Seq.String(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewDetector(DetectorConfig{
+		Name:     g.Name,
+		Sequence: g.Seq.String(),
+		Workers:  2,
+		Realtime: RealtimeConfig{Channels: 512, ClockHz: 4000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Realtime().Channels != 512 || rt.Realtime().ClockHz != 4000 {
+		t.Fatalf("Realtime() = %+v", rt.Realtime())
+	}
+
+	targets, hosts := simReads(t, g, 4)
+	reads := append(targets, hosts...)
+	baseV := base.ClassifyBatch(reads)
+	rtV := rt.ClassifyBatch(reads)
+	for i := range reads {
+		if baseV[i] != rtV[i] {
+			t.Fatalf("read %d: realtime verdict %+v != best-effort %+v", i, rtV[i], baseV[i])
+		}
+	}
+
+	st := rt.SchedStats()
+	if st.Instances != 2 {
+		t.Errorf("Instances = %d, want 2", st.Instances)
+	}
+	if st.Completed < int64(len(reads)) {
+		t.Errorf("Completed = %d, want >= %d", st.Completed, len(reads))
+	}
+	if st.Utilization <= 0 || st.Utilization > 1 {
+		t.Errorf("Utilization = %v out of (0, 1]", st.Utilization)
+	}
+	if st.LatencyP50 <= 0 || st.LatencyP99 < st.LatencyP50 {
+		t.Errorf("latency percentiles inconsistent: p50=%v p99=%v", st.LatencyP50, st.LatencyP99)
+	}
+	// A best-effort detector never records lateness.
+	if got := base.SchedStats(); got.Late != 0 {
+		t.Errorf("best-effort detector recorded %d late tasks", got.Late)
+	}
+}
