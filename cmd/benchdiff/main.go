@@ -1,0 +1,195 @@
+// Command benchdiff compares two benchmark result files and fails when a
+// ratcheted metric regresses — the CI speed ratchet that keeps the sDTW
+// kernel at its measured cells/sec.
+//
+//	benchdiff -old baseline.json -new current.json \
+//	          [-pattern '^BenchmarkExtendShard'] [-metric cells/sec] \
+//	          [-tolerance 0.10]
+//
+// Inputs are `go test -json -bench` streams (the BENCH_*.json artifacts CI
+// uploads) or plain `go test -bench` text; both parse to the same
+// name -> metric -> value table. For every benchmark matching -pattern in
+// the baseline, the new value of -metric (higher is better) must be at
+// least (1 - tolerance) times the old one; a matching benchmark that
+// disappeared from the new run also fails, so the ratchet cannot be dodged
+// by deleting the benchmark. New benchmarks absent from the baseline pass —
+// they become the next run's baseline.
+//
+// Exit status: 0 when every ratcheted benchmark holds, 1 on regression,
+// 2 on usage or parse errors. CI skips the ratchet when the pull request
+// carries the bench-ratchet-override label (see .github/workflows/ci.yml) —
+// the documented escape hatch for intentional trade-offs, which keeps the
+// override auditable in the PR's label history.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchTable maps benchmark name (GOMAXPROCS suffix stripped) to metric
+// unit to value.
+type benchTable map[string]map[string]float64
+
+// testEvent is the subset of the `go test -json` event stream benchdiff
+// reads.
+type testEvent struct {
+	Action string
+	Output string
+}
+
+// procSuffix is the trailing "-N" GOMAXPROCS tag on benchmark names; it is
+// stripped so baselines survive a runner-core-count change.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads a `go test -json` stream or plain benchmark text and
+// returns the per-benchmark metric table. Malformed lines are skipped —
+// benchmark output interleaves with build noise in CI logs.
+func parseBench(r io.Reader) (benchTable, error) {
+	table := benchTable{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil || ev.Action != "output" {
+				continue
+			}
+			line = strings.TrimSuffix(ev.Output, "\n")
+		}
+		name, metrics, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		table[name] = metrics
+	}
+	return table, sc.Err()
+}
+
+// parseBenchLine parses one benchmark result line:
+//
+//	BenchmarkExtendShard/width=4096-2  1  271271183 ns/op  4.41e+08 cells/sec  7.5 GB/s
+//
+// i.e. name, iteration count, then value/unit pairs.
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false
+	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return procSuffix.ReplaceAllString(fields[0], ""), metrics, true
+}
+
+// regression describes one ratchet violation.
+type regression struct {
+	name     string
+	old, new float64 // new is NaN-free: 0 means the benchmark disappeared
+	missing  bool
+}
+
+// compare ratchets every baseline benchmark matching pattern: the new
+// value of metric must be >= old*(1-tolerance). It returns the violations
+// and the benchmarks it checked.
+func compare(old, new benchTable, pattern *regexp.Regexp, metric string, tolerance float64) (checked []string, bad []regression) {
+	for name, oldMetrics := range old {
+		if !pattern.MatchString(name) {
+			continue
+		}
+		oldV, ok := oldMetrics[metric]
+		if !ok {
+			continue
+		}
+		checked = append(checked, name)
+		newMetrics, ok := new[name]
+		if !ok {
+			bad = append(bad, regression{name: name, old: oldV, missing: true})
+			continue
+		}
+		newV := newMetrics[metric]
+		if newV < oldV*(1-tolerance) {
+			bad = append(bad, regression{name: name, old: oldV, new: newV})
+		}
+	}
+	return checked, bad
+}
+
+func loadBench(path string) (benchTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchmark results (go test -json or text)")
+	newPath := flag.String("new", "", "current benchmark results to ratchet against the baseline")
+	pattern := flag.String("pattern", "^BenchmarkExtendShard", "regexp of benchmark names to ratchet")
+	metric := flag.String("metric", "cells/sec", "higher-is-better metric unit to compare")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression before failing")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*pattern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -pattern: %v\n", err)
+		os.Exit(2)
+	}
+	oldT, err := loadBench(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newT, err := loadBench(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	checked, bad := compare(oldT, newT, re, *metric, *tolerance)
+	if len(checked) == 0 {
+		fmt.Printf("benchdiff: baseline has no %q benchmarks with a %s metric; nothing to ratchet\n", *pattern, *metric)
+		return
+	}
+	for _, name := range checked {
+		if n, ok := newT[name]; ok {
+			fmt.Printf("%-48s %14.4g -> %14.4g %s\n", name, oldT[name][*metric], n[*metric], *metric)
+		}
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% on %s:\n", len(bad), *tolerance*100, *metric)
+		for _, r := range bad {
+			if r.missing {
+				fmt.Fprintf(os.Stderr, "  %s: missing from the new run (baseline %.4g)\n", r.name, r.old)
+			} else {
+				fmt.Fprintf(os.Stderr, "  %s: %.4g -> %.4g (%.1f%% drop)\n", r.name, r.old, r.new, 100*(1-r.new/r.old))
+			}
+		}
+		fmt.Fprintln(os.Stderr, "benchdiff: apply the bench-ratchet-override PR label to ship an intentional regression")
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmark(s) hold the ratchet\n", len(checked))
+}

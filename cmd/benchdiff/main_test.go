@@ -1,0 +1,95 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const jsonStream = `{"Action":"start","Package":"squigglefilter/internal/sdtw"}
+{"Action":"output","Package":"squigglefilter/internal/sdtw","Output":"goos: linux\n"}
+{"Action":"output","Package":"squigglefilter/internal/sdtw","Output":"BenchmarkExtendShard/unsharded-2         \t       1\t271271183 ns/op\t4.41e+08 cells/sec\t7.497 GB/s\n"}
+{"Action":"output","Package":"squigglefilter/internal/sdtw","Output":"BenchmarkExtendShard/width=4096-2        \t       1\t280000000 ns/op\t4.27e+08 cells/sec\t7.26 GB/s\n"}
+{"Action":"output","Package":"squigglefilter/internal/sdtw","Output":"BenchmarkExtendShard16/unsharded-2       \t       1\t290000000 ns/op\t4.12e+08 cells/sec\t2.89 GB/s\n"}
+{"Action":"output","Package":"squigglefilter/internal/sdtw","Output":"BenchmarkRowReset-2                      \t   24818\t48318 ns/op\t9900.72 MB/s\t9.9 GB/s\n"}
+{"Action":"output","Package":"squigglefilter/internal/sdtw","Output":"PASS\n"}
+`
+
+func TestParseBenchJSONStream(t *testing.T) {
+	table, err := parseBench(strings.NewReader(jsonStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GOMAXPROCS suffixes are stripped so a runner core-count change
+	// cannot orphan the baseline.
+	cells, ok := table["BenchmarkExtendShard/unsharded"]["cells/sec"]
+	if !ok || cells != 4.41e+08 {
+		t.Fatalf("unsharded cells/sec = %v (ok=%v), want 4.41e8", cells, ok)
+	}
+	if gbs := table["BenchmarkExtendShard16/unsharded"]["GB/s"]; gbs != 2.89 {
+		t.Fatalf("16-bit GB/s = %v, want 2.89", gbs)
+	}
+	if _, ok := table["BenchmarkRowReset"]; !ok {
+		t.Fatal("plain benchmark without sub-benchmarks not parsed")
+	}
+	if len(table) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(table))
+	}
+}
+
+func TestParseBenchPlainText(t *testing.T) {
+	table, err := parseBench(strings.NewReader(
+		"goos: linux\nBenchmarkExtendShard/unsharded-4 \t 2\t 135000000 ns/op\t 4.0e+08 cells/sec\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := table["BenchmarkExtendShard/unsharded"]["cells/sec"]; v != 4.0e+08 {
+		t.Fatalf("plain-text cells/sec = %v, want 4e8", v)
+	}
+}
+
+func mustTable(t *testing.T, lines string) benchTable {
+	t.Helper()
+	table, err := parseBench(strings.NewReader(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table
+}
+
+func TestCompareRatchet(t *testing.T) {
+	re := regexp.MustCompile("^BenchmarkExtendShard")
+	old := mustTable(t, "BenchmarkExtendShard/unsharded-2 1 1 ns/op 4.0e+08 cells/sec\n"+
+		"BenchmarkExtendShard16/unsharded-2 1 1 ns/op 4.0e+08 cells/sec\n"+
+		"BenchmarkRowReset-2 1 1 ns/op 9.9 GB/s\n")
+
+	// Within tolerance (5% drop at 10% tolerance): holds.
+	cur := mustTable(t, "BenchmarkExtendShard/unsharded-4 1 1 ns/op 3.8e+08 cells/sec\n"+
+		"BenchmarkExtendShard16/unsharded-4 1 1 ns/op 4.2e+08 cells/sec\n")
+	checked, bad := compare(old, cur, re, "cells/sec", 0.10)
+	if len(checked) != 2 || len(bad) != 0 {
+		t.Fatalf("checked=%v bad=%v, want 2 checked and none bad", checked, bad)
+	}
+
+	// A 12.5% drop on one benchmark: that one fails.
+	cur = mustTable(t, "BenchmarkExtendShard/unsharded-4 1 1 ns/op 3.5e+08 cells/sec\n"+
+		"BenchmarkExtendShard16/unsharded-4 1 1 ns/op 4.0e+08 cells/sec\n")
+	if _, bad = compare(old, cur, re, "cells/sec", 0.10); len(bad) != 1 || bad[0].name != "BenchmarkExtendShard/unsharded" {
+		t.Fatalf("bad=%+v, want exactly the regressed benchmark", bad)
+	}
+
+	// Deleting a ratcheted benchmark fails too.
+	cur = mustTable(t, "BenchmarkExtendShard/unsharded-4 1 1 ns/op 4.0e+08 cells/sec\n")
+	if _, bad = compare(old, cur, re, "cells/sec", 0.10); len(bad) != 1 || !bad[0].missing {
+		t.Fatalf("bad=%+v, want one missing-benchmark violation", bad)
+	}
+
+	// New benchmarks absent from the baseline pass; non-matching names
+	// (BenchmarkRowReset) are never ratcheted.
+	cur = mustTable(t, "BenchmarkExtendShard/unsharded-4 1 1 ns/op 4.0e+08 cells/sec\n"+
+		"BenchmarkExtendShard16/unsharded-4 1 1 ns/op 4.0e+08 cells/sec\n"+
+		"BenchmarkExtendShard/width=8192-4 1 1 ns/op 1e+06 cells/sec\n")
+	if checked, bad = compare(old, cur, re, "cells/sec", 0.10); len(checked) != 2 || len(bad) != 0 {
+		t.Fatalf("checked=%v bad=%v, want the 2 baseline benchmarks and no violations", checked, bad)
+	}
+}

@@ -12,14 +12,52 @@ import (
 	"squigglefilter/internal/sdtw"
 )
 
+// KernelKind selects the DP cell layout of a software back-end: the
+// 32-bit reference kernel or the packed 16-bit saturating kernel. Both
+// produce identical verdicts on any schedule the 16-bit kernel admits
+// (every threshold at or below sdtw.Sat16MaxThreshold — enforced by the
+// kernel's stage validation); the 16-bit kernel moves 7 bytes of DP-row
+// traffic per cell instead of 17.
+type KernelKind int
+
+const (
+	// Kernel32 is the reference layout: int32 cost, int32 run (sdtw.Row).
+	Kernel32 KernelKind = iota
+	// Kernel16 is the packed saturating layout: int16 cost, int8 run
+	// (sdtw.Row16).
+	Kernel16
+)
+
+// String names the kind as the back-end reports it.
+func (k KernelKind) String() string {
+	switch k {
+	case Kernel32:
+		return "int32"
+	case Kernel16:
+		return "int16"
+	default:
+		return fmt.Sprintf("KernelKind(%d)", int(k))
+	}
+}
+
 // NewSoftware returns the pure-software back-end: the integer sDTW engine
 // of internal/sdtw with no performance model. It is safe for concurrent
 // use.
 func NewSoftware(ref []int8, cfg sdtw.IntConfig) (Backend, error) {
-	if len(ref) == 0 {
-		return nil, fmt.Errorf("engine: empty reference")
+	return NewSoftwareKernel(ref, cfg, Kernel32)
+}
+
+// NewSoftwareKernel is NewSoftware with an explicit cell layout: Kernel32
+// for the 32-bit reference cells, Kernel16 for the packed 16-bit
+// saturating cells ("sw16"). The 16-bit back-end rejects stage schedules
+// whose thresholds exceed sdtw.Sat16MaxThreshold, and within that bound
+// its verdicts are identical to the 32-bit back-end's.
+func NewSoftwareKernel(ref []int8, cfg sdtw.IntConfig, kind KernelKind) (Backend, error) {
+	k, err := newSoftwareKernel(ref, cfg, kind)
+	if err != nil {
+		return nil, err
 	}
-	return newStager(&swKernel{ref: ref, cfg: cfg}), nil
+	return newStager(k), nil
 }
 
 // NewSoftwareSharded is NewSoftware with the serial cache-blocked sharded
@@ -31,14 +69,35 @@ func NewSoftware(ref []int8, cfg sdtw.IntConfig) (Backend, error) {
 // plain path. For intra-read *parallelism* over shards, configure the
 // sharing at the pipeline instead (Pipeline.SetShards).
 func NewSoftwareSharded(ref []int8, cfg sdtw.IntConfig, shards int) (Backend, error) {
-	if len(ref) == 0 {
-		return nil, fmt.Errorf("engine: empty reference")
+	return NewSoftwareShardedKernel(ref, cfg, shards, Kernel32)
+}
+
+// NewSoftwareShardedKernel is NewSoftwareSharded with an explicit cell
+// layout (see NewSoftwareKernel).
+func NewSoftwareShardedKernel(ref []int8, cfg sdtw.IntConfig, shards int, kind KernelKind) (Backend, error) {
+	k, err := newSoftwareKernel(ref, cfg, kind)
+	if err != nil {
+		return nil, err
 	}
-	s := newStager(&swKernel{ref: ref, cfg: cfg})
+	s := newStager(k)
 	if width := sdtw.ShardWidth(len(ref), shards); width < len(ref) {
 		s.shardWidth = width
 	}
 	return s, nil
+}
+
+func newSoftwareKernel(ref []int8, cfg sdtw.IntConfig, kind KernelKind) (kernel, error) {
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("engine: empty reference")
+	}
+	switch kind {
+	case Kernel32:
+		return &swKernel{ref: ref, cfg: cfg}, nil
+	case Kernel16:
+		return &sw16Kernel{ref: ref, cfg: cfg}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown kernel kind %d", int(kind))
+	}
 }
 
 type swKernel struct {
@@ -46,22 +105,51 @@ type swKernel struct {
 	cfg sdtw.IntConfig
 }
 
-func (k *swKernel) name() string { return "sw" }
-func (k *swKernel) refLen() int  { return len(k.ref) }
+func (k *swKernel) name() string  { return "sw" }
+func (k *swKernel) refLen() int   { return len(k.ref) }
+func (k *swKernel) newRow() dpRow { return sdtw.NewRow(len(k.ref)) }
 
-func (k *swKernel) extend(row *sdtw.Row, chunk []int8, _ *Stats) sdtw.IntResult {
-	return sdtw.Extend(row, chunk, k.ref, k.cfg)
+func (k *swKernel) validateStages(stages []sdtw.Stage) error {
+	return sdtw.ValidateStages(stages)
 }
 
-func (k *swKernel) extendShard(shard *sdtw.Row, lo int, chunk []int8, haloIn, haloOut *sdtw.Halo, _ *Stats) sdtw.IntResult {
-	return sdtw.ExtendShard(shard, chunk, k.ref[lo:lo+shard.Len()], k.cfg, haloIn, haloOut)
+func (k *swKernel) extend(row dpRow, chunk []int8, _ *Stats) sdtw.IntResult {
+	return sdtw.Extend(row.(*sdtw.Row), chunk, k.ref, k.cfg)
 }
 
-// swCellSeconds is the self-calibrated software DP rate in seconds per
-// cell, measured once per process: a short timed Extend over synthetic
-// data, the way a deployment would calibrate the software classifier
-// against its own host before promising a real-time channel count.
-var swCellSeconds = sync.OnceValue(func() float64 {
+func (k *swKernel) shardRow(row dpRow, width int) shardPlan {
+	return swPlan{k: k, sr: sdtw.ShardRow(row.(*sdtw.Row), width)}
+}
+
+func (k *swKernel) newHalo() any { return &sdtw.Halo{} }
+
+// swPlan shards a 32-bit row for the sw kernel.
+type swPlan struct {
+	k  *swKernel
+	sr *sdtw.ShardedRow
+}
+
+func (p swPlan) numShards() int          { return p.sr.NumShards() }
+func (p swPlan) bounds(k int) (int, int) { return p.sr.Bounds(k) }
+func (p swPlan) advance(n int)           { p.sr.Row().Samples += n }
+func (p swPlan) extendShard(k int, chunk []int8, haloIn, haloOut any, _ *Stats) sdtw.IntResult {
+	lo, hi := p.sr.Bounds(k)
+	var in, out *sdtw.Halo
+	if haloIn != nil {
+		in = haloIn.(*sdtw.Halo)
+	}
+	if haloOut != nil {
+		out = haloOut.(*sdtw.Halo)
+	}
+	return sdtw.ExtendShard(p.sr.Shard(k), chunk, p.k.ref[lo:hi], p.k.cfg, in, out)
+}
+
+// calibrateCellSeconds times one chunk extension of a freshly built DP
+// row over synthetic data and returns the best-of-reps seconds-per-cell —
+// the way a deployment would calibrate the software classifier against
+// its own host before promising a real-time channel count. Each cell
+// layout calibrates its own rate through its own extend function.
+func calibrateCellSeconds(extend func(chunk, ref []int8, cfg sdtw.IntConfig)) float64 {
 	const (
 		calRef   = 4096
 		calChunk = 256
@@ -77,17 +165,38 @@ var swCellSeconds = sync.OnceValue(func() float64 {
 		chunk[i] = int8(rng.Intn(256) - 128)
 	}
 	cfg := sdtw.DefaultIntConfig()
-	row := sdtw.NewRow(calRef)
 	best := math.MaxFloat64
 	for r := 0; r < reps; r++ {
-		row.Reset()
 		start := time.Now()
-		sdtw.Extend(row, chunk, ref, cfg)
+		extend(chunk, ref, cfg)
 		if s := time.Since(start).Seconds() / (calRef * calChunk); s < best {
 			best = s
 		}
 	}
 	return best
+}
+
+// swCellSeconds is the self-calibrated 32-bit software DP rate in seconds
+// per cell, measured once per process.
+var swCellSeconds = sync.OnceValue(func() float64 {
+	row := sdtw.NewRow(4096)
+	return calibrateCellSeconds(func(chunk, ref []int8, cfg sdtw.IntConfig) {
+		row.Reset()
+		sdtw.Extend(row, chunk, ref, cfg)
+	})
+})
+
+// sw16CellSeconds is swCellSeconds for the packed 16-bit kernel: the two
+// kernels have different per-cell costs (packed loads, saturating
+// stores), so each calibrates independently and the scheduler's deadline
+// accounting — and the flow-cell keep-up verdict built on it — sees the
+// real per-kernel rate.
+var sw16CellSeconds = sync.OnceValue(func() float64 {
+	row := sdtw.NewRow16(4096)
+	return calibrateCellSeconds(func(chunk, ref []int8, cfg sdtw.IntConfig) {
+		row.Reset()
+		sdtw.Extend16(row, chunk, ref, cfg)
+	})
 })
 
 func (k *swKernel) serviceTime(chunkSamples int) time.Duration {
@@ -96,6 +205,61 @@ func (k *swKernel) serviceTime(chunkSamples int) time.Duration {
 	}
 	cells := float64(chunkSamples) * float64(len(k.ref))
 	return time.Duration(cells * swCellSeconds() * float64(time.Second))
+}
+
+// sw16Kernel is the packed 16-bit saturating software kernel: the same
+// staged classification as swKernel over sdtw.Row16 state, with stage
+// validation bounding thresholds by the saturation ceiling.
+type sw16Kernel struct {
+	ref []int8
+	cfg sdtw.IntConfig
+}
+
+func (k *sw16Kernel) name() string  { return "sw16" }
+func (k *sw16Kernel) refLen() int   { return len(k.ref) }
+func (k *sw16Kernel) newRow() dpRow { return sdtw.NewRow16(len(k.ref)) }
+
+func (k *sw16Kernel) validateStages(stages []sdtw.Stage) error {
+	return sdtw.ValidateStages16(stages)
+}
+
+func (k *sw16Kernel) extend(row dpRow, chunk []int8, _ *Stats) sdtw.IntResult {
+	return sdtw.Extend16(row.(*sdtw.Row16), chunk, k.ref, k.cfg)
+}
+
+func (k *sw16Kernel) shardRow(row dpRow, width int) shardPlan {
+	return sw16Plan{k: k, sr: sdtw.ShardRow16(row.(*sdtw.Row16), width)}
+}
+
+func (k *sw16Kernel) newHalo() any { return &sdtw.Halo16{} }
+
+func (k *sw16Kernel) serviceTime(chunkSamples int) time.Duration {
+	if chunkSamples <= 0 {
+		return 0
+	}
+	cells := float64(chunkSamples) * float64(len(k.ref))
+	return time.Duration(cells * sw16CellSeconds() * float64(time.Second))
+}
+
+// sw16Plan shards a packed 16-bit row for the sw16 kernel.
+type sw16Plan struct {
+	k  *sw16Kernel
+	sr *sdtw.ShardedRow16
+}
+
+func (p sw16Plan) numShards() int          { return p.sr.NumShards() }
+func (p sw16Plan) bounds(k int) (int, int) { return p.sr.Bounds(k) }
+func (p sw16Plan) advance(n int)           { p.sr.Row().Samples += n }
+func (p sw16Plan) extendShard(k int, chunk []int8, haloIn, haloOut any, _ *Stats) sdtw.IntResult {
+	lo, hi := p.sr.Bounds(k)
+	var in, out *sdtw.Halo16
+	if haloIn != nil {
+		in = haloIn.(*sdtw.Halo16)
+	}
+	if haloOut != nil {
+		out = haloOut.(*sdtw.Halo16)
+	}
+	return sdtw.ExtendShard16(p.sr.Shard(k), chunk, p.k.ref[lo:hi], p.k.cfg, in, out)
 }
 
 // NewHardware returns the cycle-accurate systolic-tile back-end. Costs and
@@ -147,11 +311,16 @@ type hwKernel struct {
 	dev tileDevice
 }
 
-func (k *hwKernel) name() string { return "hw" }
-func (k *hwKernel) refLen() int  { return k.dev.RefLen() }
+func (k *hwKernel) name() string  { return "hw" }
+func (k *hwKernel) refLen() int   { return k.dev.RefLen() }
+func (k *hwKernel) newRow() dpRow { return sdtw.NewRow(k.dev.RefLen()) }
 
-func (k *hwKernel) extend(row *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult {
-	res, cs := k.dev.ExtendRow(chunk, row, 0, false)
+func (k *hwKernel) validateStages(stages []sdtw.Stage) error {
+	return sdtw.ValidateStages(stages)
+}
+
+func (k *hwKernel) extend(row dpRow, chunk []int8, st *Stats) sdtw.IntResult {
+	res, cs := k.dev.ExtendRow(chunk, row.(*sdtw.Row), 0, false)
 	// The normalizer front-end processes each chunk before the array sees
 	// it; its structural model (hw.Normalizer) owns the cycle cost.
 	st.Cycles += cs.Cycles + hw.NormCycles(len(chunk))
@@ -185,11 +354,16 @@ type gpuKernel struct {
 	dev gpu.Device
 }
 
-func (k *gpuKernel) name() string { return "gpu" }
-func (k *gpuKernel) refLen() int  { return len(k.ref) }
+func (k *gpuKernel) name() string  { return "gpu" }
+func (k *gpuKernel) refLen() int   { return len(k.ref) }
+func (k *gpuKernel) newRow() dpRow { return sdtw.NewRow(len(k.ref)) }
 
-func (k *gpuKernel) extend(row *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult {
-	res := sdtw.Extend(row, chunk, k.ref, k.cfg)
+func (k *gpuKernel) validateStages(stages []sdtw.Stage) error {
+	return sdtw.ValidateStages(stages)
+}
+
+func (k *gpuKernel) extend(row dpRow, chunk []int8, st *Stats) sdtw.IntResult {
+	res := sdtw.Extend(row.(*sdtw.Row), chunk, k.ref, k.cfg)
 	st.Latency += k.serviceTime(len(chunk))
 	return res
 }

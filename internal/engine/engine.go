@@ -90,40 +90,80 @@ func ValidateStages(stages []sdtw.Stage) error {
 	return sdtw.ValidateStages(stages)
 }
 
+// dpRow is the resumable per-read DP state a kernel parks between stage
+// chunks. Each kernel owns a concrete row type — *sdtw.Row for the 32-bit
+// cell layout, *sdtw.Row16 for the packed 16-bit one — and the staging
+// layer only ever resets, pools, and hands rows back to the kernel that
+// minted them, so the layout never leaks past the kernel boundary.
+type dpRow interface {
+	// Reset returns the row to the boundary state for pool reuse.
+	Reset()
+	// Len returns the reference length the row covers.
+	Len() int
+}
+
 // kernel is the per-chunk DP extension a back-end contributes. Everything
 // else — stage chunking, normalization, thresholds, decisions — is shared
 // in stager, which is what makes verdicts bit-identical across back-ends.
 type kernel interface {
 	name() string
 	refLen() int
+	// newRow mints this kernel's DP row type at the programmed reference
+	// length; extend only ever sees rows from its own newRow.
+	newRow() dpRow
+	// validateStages checks a stage schedule against this kernel's cell
+	// representation — the 16-bit kernel additionally bounds thresholds by
+	// its saturation ceiling (sdtw.ValidateStages16).
+	validateStages(stages []sdtw.Stage) error
 	// extend consumes one normalized chunk, updating row in place, and
 	// returns the best cost over the row; performance accounting
 	// accumulates into st.
-	extend(row *sdtw.Row, chunk []int8, st *Stats) sdtw.IntResult
+	extend(row dpRow, chunk []int8, st *Stats) sdtw.IntResult
 	// serviceTime models the wall-clock cost of one extend call over a
 	// normalized chunk of chunkSamples samples — the price the scheduler
 	// charges a task. The hardware kernel derives it exactly from the
 	// tile/tile-group cycle ledger at the synthesized clock; the GPU
-	// kernel from the calibrated device envelope; the software kernel
-	// self-calibrates a cells-per-second rate on first use.
+	// kernel from the calibrated device envelope; the software kernels
+	// self-calibrate a cells-per-second rate on first use, once per cell
+	// layout.
 	serviceTime(chunkSamples int) time.Duration
 }
 
+// shardPlan is one read's reference-sharded DP state: fixed-width shard
+// views over the kernel's row type, with the kernel's halo type chained
+// between neighbours. Plans come from shardKernel.shardRow and keep the
+// concrete row/halo layout opaque to the staging and scheduling layers —
+// halos travel as `any` values minted by shardKernel.newHalo.
+type shardPlan interface {
+	// numShards returns the shard count.
+	numShards() int
+	// bounds returns shard k's half-open global column range [lo, hi).
+	bounds(k int) (lo, hi int)
+	// extendShard consumes one normalized chunk on shard k, reading the
+	// left neighbour's halo trace from haloIn and recording its own into
+	// haloOut (both nil at the respective edges, otherwise values from
+	// newHalo). Implementations must be safe for concurrent calls on
+	// disjoint shards — the pipeline's wavefront scheduler relies on it.
+	extendShard(k int, chunk []int8, haloIn, haloOut any, st *Stats) sdtw.IntResult
+	// advance records n consumed query samples on the backing row after a
+	// chunk has run on every shard.
+	advance(n int)
+}
+
 // shardKernel is a kernel whose reference dimension can be partitioned:
-// extendShard extends one reference shard independently of the columns to
-// its right, given the left neighbour's halo trace — legal because the
-// hardware recurrence has no intra-row dependency (internal/sdtw). The
-// software kernel implements it; the hardware kernel shards inside the
-// device instead (hw.TileGroup via NewHardwareTiles), and the GPU kernel
-// models whole-kernel launches, so neither needs to.
+// a shard extends independently of the columns to its right, given the
+// left neighbour's halo trace — legal because the hardware recurrence has
+// no intra-row dependency (internal/sdtw). The software kernels implement
+// it; the hardware kernel shards inside the device instead (hw.TileGroup
+// via NewHardwareTiles), and the GPU kernel models whole-kernel launches,
+// so neither needs to.
 type shardKernel interface {
 	kernel
-	// extendShard consumes one normalized chunk for the shard whose first
-	// reference column is lo, updating the shard view in place. haloIn and
-	// haloOut are as in sdtw.ExtendShard. Implementations must be safe for
-	// concurrent calls on disjoint shards — the pipeline's wavefront
-	// scheduler relies on it.
-	extendShard(shard *sdtw.Row, lo int, chunk []int8, haloIn, haloOut *sdtw.Halo, st *Stats) sdtw.IntResult
+	// shardRow wraps one of this kernel's rows in width-column shard views.
+	shardRow(row dpRow, width int) shardPlan
+	// newHalo mints an empty boundary trace of this kernel's halo type,
+	// for pooling and ping-pong reuse by the callers of extendShard.
+	newHalo() any
 }
 
 // stager implements Backend over a kernel: the single normalization and
@@ -141,19 +181,34 @@ type stager struct {
 
 func newStager(k kernel) *stager {
 	s := &stager{k: k}
-	s.pool.New = func() any { return sdtw.NewRow(k.refLen()) }
+	s.pool.New = func() any { return k.newRow() }
 	return s
 }
 
 // extendSharded runs one chunk through every shard serially, left to
 // right: shard k consumes the whole chunk (its ~shard-sized working set
 // stays cache-resident) before shard k+1 starts from k's recorded halo
-// trace. The chaining loop itself lives in sdtw.ShardedRow.ExtendWith;
-// only the kernel dispatch is engine-specific.
-func extendSharded(sk shardKernel, sr *sdtw.ShardedRow, chunk []int8, st *Stats) sdtw.IntResult {
-	return sr.ExtendWith(len(chunk), func(_, lo int, shard *sdtw.Row, haloIn, haloOut *sdtw.Halo) sdtw.IntResult {
-		return sk.extendShard(shard, lo, chunk, haloIn, haloOut, st)
-	})
+// trace. haloA/haloB are two newHalo values ping-ponged between adjacent
+// boundaries — a shard's input halo is only needed until its own output
+// is recorded, so two buffers serve any shard count.
+func extendSharded(plan shardPlan, chunk []int8, haloA, haloB any, st *Stats) sdtw.IntResult {
+	S := plan.numShards()
+	best := sdtw.IntResult{EndPos: -1}
+	var in any
+	for k := 0; k < S; k++ {
+		var out any
+		if k < S-1 {
+			out = haloA
+			if k%2 == 1 {
+				out = haloB
+			}
+		}
+		lo, _ := plan.bounds(k)
+		best = sdtw.MergeShardResult(best, plan.extendShard(k, chunk, in, out, st), lo)
+		in = out
+	}
+	plan.advance(len(chunk))
+	return best
 }
 
 func (s *stager) Name() string { return s.k.name() }
@@ -163,24 +218,25 @@ func (s *stager) RefLen() int  { return s.k.refLen() }
 // schedule must already be validated. Direct back-end sessions never wait
 // on a scheduler, so their extend hook is infallible.
 func (s *stager) newSession(stages []sdtw.Stage) *Session {
-	row := s.pool.Get().(*sdtw.Row)
+	row := s.pool.Get().(dpRow)
 	row.Reset()
-	extend := func(row *sdtw.Row, chunk []int8, st *Stats) (sdtw.IntResult, error) {
+	extend := func(row dpRow, chunk []int8, st *Stats) (sdtw.IntResult, error) {
 		return s.k.extend(row, chunk, st), nil
 	}
 	if s.shardWidth > 0 {
 		sk := s.k.(shardKernel)
-		sr := sdtw.ShardRow(row, s.shardWidth)
-		extend = func(_ *sdtw.Row, chunk []int8, st *Stats) (sdtw.IntResult, error) {
-			return extendSharded(sk, sr, chunk, st), nil
+		plan := sk.shardRow(row, s.shardWidth)
+		haloA, haloB := sk.newHalo(), sk.newHalo()
+		extend = func(_ dpRow, chunk []int8, st *Stats) (sdtw.IntResult, error) {
+			return extendSharded(plan, chunk, haloA, haloB, st), nil
 		}
 	}
-	return newSession(stages, row, extend, func(r *sdtw.Row) { s.pool.Put(r) })
+	return newSession(stages, row, extend, func(r dpRow) { s.pool.Put(r) })
 }
 
 // NewSession starts an incremental classification of one read.
 func (s *stager) NewSession(stages []sdtw.Stage) (*Session, error) {
-	if err := ValidateStages(stages); err != nil {
+	if err := s.k.validateStages(stages); err != nil {
 		return nil, err
 	}
 	return s.newSession(stages), nil

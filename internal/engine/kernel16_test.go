@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"squigglefilter/internal/sdtw"
+)
+
+// TestKernel16BackendParity: the packed 16-bit software back-end produces
+// bit-identical verdicts, costs, and per-stage records to the 32-bit one
+// over random reads and random schedules whose thresholds respect the
+// saturation bound — the engine-level restatement of the sdtw property
+// TestInt16SaturationNeverFlipsVerdict.
+func TestKernel16BackendParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1601))
+	cfg := sdtw.DefaultIntConfig()
+	ref := randomRef(rng, 3000)
+	sw, err := NewSoftware(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw16, err := NewSoftwareKernel(ref, cfg, Kernel16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw16.Name() != "sw16" {
+		t.Fatalf("16-bit backend name = %q, want sw16", sw16.Name())
+	}
+
+	for trial := 0; trial < 30; trial++ {
+		nStages := 1 + rng.Intn(3)
+		stages := make([]sdtw.Stage, nStages)
+		prefix := 0
+		for i := range stages {
+			prefix += 300 + rng.Intn(900)
+			th := int32(rng.Intn(prefix * 6))
+			if th > sdtw.Sat16MaxThreshold {
+				th = sdtw.Sat16MaxThreshold
+			}
+			stages[i] = sdtw.Stage{PrefixSamples: prefix, Threshold: th}
+		}
+		read := randomRead(rng, 200+rng.Intn(3200))
+
+		want := sw.Classify(read, stages)
+		got := sw16.Classify(read, stages)
+		if got.Decision != want.Decision || got.Cost != want.Cost ||
+			got.EndPos != want.EndPos || got.SamplesUsed != want.SamplesUsed {
+			t.Fatalf("trial %d: sw16 diverged: got {%v cost=%d end=%d used=%d}, want {%v cost=%d end=%d used=%d}",
+				trial, got.Decision, got.Cost, got.EndPos, got.SamplesUsed,
+				want.Decision, want.Cost, want.EndPos, want.SamplesUsed)
+		}
+		if !reflect.DeepEqual(got.PerStage, want.PerStage) {
+			t.Fatalf("trial %d: sw16 per-stage records diverged:\ngot  %+v\nwant %+v",
+				trial, got.PerStage, want.PerStage)
+		}
+	}
+}
+
+// TestKernel16ShardedParity: the serial cache-blocked and the pipeline
+// wavefront sharded paths of the 16-bit kernel match the unsharded 16-bit
+// back-end — the halo-chaining protocol holds for the packed cell layout
+// threaded through the engine.
+func TestKernel16ShardedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1602))
+	cfg := sdtw.DefaultIntConfig()
+	ref := randomRef(rng, 2200)
+	stages := []sdtw.Stage{
+		{PrefixSamples: 700, Threshold: 5000},
+		{PrefixSamples: 1500, Threshold: 4000},
+	}
+
+	plain, err := NewSoftwareKernel(ref, cfg, Kernel16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := NewSoftwareShardedKernel(ref, cfg, 4, Kernel16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := NewPipeline(func() (Backend, error) {
+		return NewSoftwareKernel(ref, cfg, Kernel16)
+	}, 3, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.SetShards(4); err != nil {
+		t.Fatal(err)
+	}
+	if pipe.ServiceTime(512) <= 0 {
+		t.Error("sw16 pipeline reports no service time model")
+	}
+
+	for trial := 0; trial < 12; trial++ {
+		read := randomRead(rng, 300+rng.Intn(1800))
+		want := plain.Classify(read, stages)
+		if got := blocked.Classify(read, stages); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: serial sharded sw16 diverged:\ngot  %+v\nwant %+v", trial, got, want)
+		}
+		got := pipe.Classify(read)
+		got.Stats = want.Stats // scheduling stats are path-specific
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: wavefront sharded sw16 diverged:\ngot  %+v\nwant %+v", trial, got, want)
+		}
+	}
+}
+
+// TestKernel16RejectsSaturatedThresholds: schedules whose thresholds
+// exceed the 16-bit saturation bound are rejected wherever a schedule
+// enters the engine — backend sessions and pipeline construction — while
+// the 32-bit kernel accepts them unchanged.
+func TestKernel16RejectsSaturatedThresholds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1603))
+	cfg := sdtw.DefaultIntConfig()
+	ref := randomRef(rng, 600)
+	hot := []sdtw.Stage{{PrefixSamples: 500, Threshold: sdtw.Sat16MaxThreshold + 1}}
+
+	sw16, err := NewSoftwareKernel(ref, cfg, Kernel16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw16.NewSession(hot); err == nil {
+		t.Error("sw16 session accepted a threshold above the saturation bound")
+	}
+	if _, err := NewPipeline(func() (Backend, error) {
+		return NewSoftwareKernel(ref, cfg, Kernel16)
+	}, 2, hot); err == nil {
+		t.Error("sw16 pipeline accepted a threshold above the saturation bound")
+	}
+
+	sw, err := NewSoftware(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.NewSession(hot); err != nil {
+		t.Errorf("32-bit session rejected a legal schedule: %v", err)
+	}
+
+	if _, err := NewSoftwareKernel(ref, cfg, KernelKind(99)); err == nil {
+		t.Error("unknown kernel kind accepted")
+	}
+	if Kernel32.String() != "int32" || Kernel16.String() != "int16" {
+		t.Errorf("kind names %q/%q, want int32/int16", Kernel32, Kernel16)
+	}
+}

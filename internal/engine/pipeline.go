@@ -94,10 +94,17 @@ func NewPipeline(factory func() (Backend, error), instances int, stages []sdtw.S
 		shards:      1,
 	}
 	if st, ok := insts[0].(*stager); ok {
+		// The kernel owns the cell layout: it re-validates the schedule
+		// (the 16-bit kernel bounds thresholds by its saturation ceiling)
+		// and mints the pooled rows sessions park between stages.
+		if err := st.k.validateStages(stages); err != nil {
+			return nil, err
+		}
 		p.svc = st.k.serviceTime
+		p.rows.New = func() any { return st.k.newRow() }
+	} else {
+		p.rows.New = func() any { return sdtw.NewRow(refLen) }
 	}
-	p.rows.New = func() any { return sdtw.NewRow(refLen) }
-	p.halos.New = func() any { return &sdtw.Halo{} }
 	return p, nil
 }
 
@@ -122,9 +129,11 @@ func (p *Pipeline) SetShards(shards int) error {
 		return fmt.Errorf("engine: pipeline back-ends do not support incremental sessions")
 	}
 	// Every instance comes from the same factory; inspecting one suffices.
-	if _, ok := p.insts[0].(*stager).k.(shardKernel); !ok {
+	sk, ok := p.insts[0].(*stager).k.(shardKernel)
+	if !ok {
 		return fmt.Errorf("engine: %s back-end cannot extend reference shards (hw shards across tiles via NewHardwareTiles instead)", p.insts[0].Name())
 	}
+	p.halos.New = func() any { return sk.newHalo() }
 	width := sdtw.ShardWidth(p.refLen, shards)
 	if width >= p.refLen {
 		p.shards, p.shardWidth = 1, 0
@@ -249,9 +258,9 @@ func (p *Pipeline) NewSessionContext(ctx context.Context) (*Session, error) {
 	if !p.sessionable {
 		return nil, fmt.Errorf("engine: pipeline back-ends do not support incremental sessions")
 	}
-	row := p.rows.Get().(*sdtw.Row)
+	row := p.rows.Get().(dpRow)
 	row.Reset()
-	extend := func(row *sdtw.Row, chunk []int8, st *Stats) (sdtw.IntResult, error) {
+	extend := func(row dpRow, chunk []int8, st *Stats) (sdtw.IntResult, error) {
 		var r sdtw.IntResult
 		err := p.do(ctx, p.ServiceTime(len(chunk)), func(b Backend) {
 			r = b.(*stager).k.extend(row, chunk, st)
@@ -259,9 +268,10 @@ func (p *Pipeline) NewSessionContext(ctx context.Context) (*Session, error) {
 		return r, err
 	}
 	if p.shardWidth > 0 {
-		extend = p.shardedExtend(ctx, sdtw.ShardRow(row, p.shardWidth))
+		plan := p.insts[0].(*stager).k.(shardKernel).shardRow(row, p.shardWidth)
+		extend = p.shardedExtend(ctx, plan)
 	}
-	return newSession(p.stages, row, extend, func(r *sdtw.Row) { p.rows.Put(r) }), nil
+	return newSession(p.stages, row, extend, func(r dpRow) { p.rows.Put(r) }), nil
 }
 
 // shardedExtend builds a session extend hook that schedules one chunk's
@@ -272,9 +282,9 @@ func (p *Pipeline) NewSessionContext(ctx context.Context) (*Session, error) {
 // unsharded work can share the pool without deadlock. On cancellation a
 // shard propagates a nil halo to its right neighbour, which unwinds the
 // whole wavefront without blocking.
-func (p *Pipeline) shardedExtend(ctx context.Context, sr *sdtw.ShardedRow) func(*sdtw.Row, []int8, *Stats) (sdtw.IntResult, error) {
-	return func(_ *sdtw.Row, chunk []int8, st *Stats) (sdtw.IntResult, error) {
-		S := sr.NumShards()
+func (p *Pipeline) shardedExtend(ctx context.Context, plan shardPlan) func(dpRow, []int8, *Stats) (sdtw.IntResult, error) {
+	return func(_ dpRow, chunk []int8, st *Stats) (sdtw.IntResult, error) {
+		S := plan.numShards()
 		nb := (len(chunk) + shardBlockSamples - 1) / shardBlockSamples
 		if nb == 0 {
 			// Defensive: the session never feeds an empty stage chunk.
@@ -282,9 +292,11 @@ func (p *Pipeline) shardedExtend(ctx context.Context, sr *sdtw.ShardedRow) func(
 		}
 		// Buffered boundary channels let a fast left shard run ahead
 		// through every block without blocking on its right neighbour.
-		bounds := make([]chan *sdtw.Halo, S-1)
+		// Halos travel as the kernel's opaque type (shardKernel.newHalo);
+		// a nil value signals the sender unwound.
+		bounds := make([]chan any, S-1)
 		for i := range bounds {
-			bounds[i] = make(chan *sdtw.Halo, nb)
+			bounds[i] = make(chan any, nb)
 		}
 		results := make([]sdtw.IntResult, S)
 		perShard := make([]Stats, S)
@@ -299,11 +311,9 @@ func (p *Pipeline) shardedExtend(ctx context.Context, sr *sdtw.ShardedRow) func(
 			wg.Add(1)
 			go func(k int) {
 				defer wg.Done()
-				shard := sr.Shard(k)
-				lo, _ := sr.Bounds(k)
 				aborted := false
 				for b := 0; b < nb; b++ {
-					var in *sdtw.Halo
+					var in any
 					if k > 0 {
 						// A nil halo from the left neighbour signals that
 						// it unwound; propagate and stop computing.
@@ -323,11 +333,11 @@ func (p *Pipeline) shardedExtend(ctx context.Context, sr *sdtw.ShardedRow) func(
 								blockHi = len(chunk)
 							}
 							block := chunk[blockLo:blockHi]
-							var out *sdtw.Halo
+							var out any
 							if k < S-1 {
-								out = p.halos.Get().(*sdtw.Halo)
+								out = p.halos.Get()
 							}
-							r := p.insts[idx].(*stager).k.(shardKernel).extendShard(shard, lo, block, in, out, &perShard[k])
+							r := plan.extendShard(k, block, in, out, &perShard[k])
 							p.sch.Release(idx)
 							if in != nil {
 								p.halos.Put(in)
@@ -358,13 +368,13 @@ func (p *Pipeline) shardedExtend(ctx context.Context, sr *sdtw.ShardedRow) func(
 		}
 		best := sdtw.IntResult{EndPos: -1}
 		for k := 0; k < S; k++ {
-			lo, _ := sr.Bounds(k)
+			lo, _ := plan.bounds(k)
 			best = sdtw.MergeShardResult(best, results[k], lo)
 			st.Cycles += perShard[k].Cycles
 			st.DRAMBytes += perShard[k].DRAMBytes
 			st.Latency += perShard[k].Latency
 		}
-		sr.Row().Samples += len(chunk)
+		plan.advance(len(chunk))
 		return best, nil
 	}
 }

@@ -38,11 +38,11 @@ type Session struct {
 	// for pipeline sessions it borrows an instance through the scheduler
 	// for the duration of the call and errors when the session's context
 	// is cancelled while waiting.
-	extend func(row *sdtw.Row, chunk []int8, st *Stats) (sdtw.IntResult, error)
+	extend func(row dpRow, chunk []int8, st *Stats) (sdtw.IntResult, error)
 	// release returns the DP row to its pool once the session is decided.
-	release func(*sdtw.Row)
+	release func(dpRow)
 
-	row      *sdtw.Row
+	row      dpRow
 	buf      []int16 // raw samples of the current incomplete stage chunk
 	consumed int     // samples already normalized and extended
 	stage    int     // next stage to evaluate
@@ -51,8 +51,8 @@ type Session struct {
 	err      error
 }
 
-func newSession(stages []sdtw.Stage, row *sdtw.Row,
-	extend func(*sdtw.Row, []int8, *Stats) (sdtw.IntResult, error), release func(*sdtw.Row)) *Session {
+func newSession(stages []sdtw.Stage, row dpRow,
+	extend func(dpRow, []int8, *Stats) (sdtw.IntResult, error), release func(dpRow)) *Session {
 	return &Session{
 		stages:  stages,
 		extend:  extend,

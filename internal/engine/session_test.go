@@ -265,11 +265,11 @@ func instrumentedSession(t *testing.T, ref []int8, stages []sdtw.Stage, releases
 		t.Fatal(err)
 	}
 	st := sw.(*stager)
-	row := sdtw.NewRow(st.k.refLen())
-	extend := func(row *sdtw.Row, chunk []int8, stats *Stats) (sdtw.IntResult, error) {
+	row := st.k.newRow()
+	extend := func(row dpRow, chunk []int8, stats *Stats) (sdtw.IntResult, error) {
 		return st.k.extend(row, chunk, stats), nil
 	}
-	return newSession(stages, row, extend, func(*sdtw.Row) { *releases++ })
+	return newSession(stages, row, extend, func(dpRow) { *releases++ })
 }
 
 // TestSessionLeftoverPastLastStage: a chunk that crosses the last stage

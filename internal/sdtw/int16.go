@@ -1,0 +1,320 @@
+package sdtw
+
+// The 16-bit saturating kernel: the same recurrence as the 32-bit engine
+// (int.go, shard.go) computed in int32 registers but stored as packed
+// 16-bit costs and 8-bit run counters — 3 bytes of DP state per reference
+// column instead of 8. Stage thresholds bound the useful cost range (a few
+// thousand), so costs far above any threshold carry no decision-relevant
+// information; the store clamps them to the int16 range instead of keeping
+// 32 bits around. That halves-and-more the row traffic of the kernel's
+// memory-bound regime: more than twice as many cells per cache line, and
+// proportionally more of the reference resident per cache level.
+//
+// Saturation semantics — why clamping is safe:
+//
+//   - The store clamp is min/max, not absorbing: a cell is stored as
+//     clamp(v, math.MinInt16, math.MaxInt16) where v is the exact int32
+//     cell value computed from the *stored* (possibly clamped) operands.
+//   - Divergence is confined to the saturation frontier. A clamped
+//     operand can only win a cell's min against honest operands that are
+//     themselves within MatchBonus*BonusCap (100 at paper defaults) of
+//     the ceiling; where a clamp flips which operand wins, the stored
+//     run counter can differ too, so a divergent cell may land up to
+//     that same 100 above or below its 32-bit value — but each query
+//     sample widens the divergence band downward by at most 100, and the
+//     divergence dies wherever any honest path is cheaper, which is
+//     everywhere costs are decision-sized. Cells whose 32-bit cost stays
+//     below Sat16Ceiling (filter.go — MaxInt16 minus a 4096 guard band,
+//     40+ samples of worst-case creep) are bit-identical between the
+//     kernels, and cells saturated in 32-bit stay above the ceiling in
+//     16-bit; the property tests in int16_test.go pin both directions,
+//     and TestInt16SaturationNeverFlipsVerdict pins the consequence:
+//     with every threshold at or below Sat16MaxThreshold, stage verdicts
+//     are identical — saturation never flips an Accept.
+//   - The floor clamp engages only when the match bonus drives a cost
+//     below MinInt16 = -32768, which is more than 3,000 below every legal
+//     threshold (thresholds are non-negative in practice and capped at
+//     Sat16MaxThreshold); a floored cost and its exact value compare
+//     identically against any such threshold.
+//
+// Run fits in int8 because run counters are clamped at the bonus cap —
+// 10 at the paper's configuration (Section 4.7), and ExtendShard16 caps
+// the configured value at MaxInt8 so no IntConfig can overflow the field.
+
+import "math"
+
+const (
+	sat16Max = math.MaxInt16 // ceiling the 16-bit store clamps to
+	sat16Min = math.MinInt16 // floor the 16-bit store clamps to
+)
+
+// Row16 is the packed 16-bit DP state: per reference position a saturating
+// 16-bit alignment cost and an 8-bit dwell counter. It is the Row of the
+// 16-bit kernel — same boundary encoding (zero cost, zero run), same
+// resume-from-saved-row staging.
+type Row16 struct {
+	Cost []int16
+	Run  []int8
+	// Samples counts the query samples consumed so far.
+	Samples int
+}
+
+// NewRow16 returns the boundary row for a reference of length m.
+func NewRow16(m int) *Row16 {
+	return &Row16{Cost: make([]int16, m), Run: make([]int8, m)}
+}
+
+// Len returns the reference length the row covers.
+func (r *Row16) Len() int { return len(r.Cost) }
+
+// Reset returns the row to the boundary state for pool reuse, one memclr
+// per slice exactly as Row.Reset.
+func (r *Row16) Reset() {
+	clear(r.Cost)
+	clear(r.Run)
+	r.Samples = 0
+}
+
+// Clone deep-copies the row.
+func (r *Row16) Clone() *Row16 {
+	out := &Row16{
+		Cost:    make([]int16, len(r.Cost)),
+		Run:     make([]int8, len(r.Run)),
+		Samples: r.Samples,
+	}
+	copy(out.Cost, r.Cost)
+	copy(out.Run, r.Run)
+	return out
+}
+
+// Halo16 is the 16-bit kernel's K-deep edge-column trace (see Halo): the
+// same chaining protocol with the packed cell layout.
+type Halo16 struct {
+	Cost []int16
+	Run  []int8
+}
+
+// NewHalo16 returns a halo with capacity for n query samples.
+func NewHalo16(n int) *Halo16 {
+	return &Halo16{Cost: make([]int16, n), Run: make([]int8, n)}
+}
+
+// Reserve resizes the halo to exactly n entries, reallocating only on
+// growth.
+func (h *Halo16) Reserve(n int) {
+	if cap(h.Cost) < n {
+		h.Cost = make([]int16, n)
+		h.Run = make([]int8, n)
+		return
+	}
+	h.Cost = h.Cost[:n]
+	h.Run = h.Run[:n]
+}
+
+// Len returns the number of entries the halo currently holds.
+func (h *Halo16) Len() int { return len(h.Cost) }
+
+// sat16 clamps an int32 cell value into the storable int16 range. The
+// operands feeding v are themselves stored cells (>= sat16Min) adjusted by
+// at most MatchBonus*BonusCap and a distance < 256, so v always fits int32
+// with huge margin; only the int16 range needs enforcing.
+func sat16(v int32) int32 {
+	if v > sat16Max {
+		v = sat16Max
+	}
+	if v < sat16Min {
+		v = sat16Min
+	}
+	return v
+}
+
+// ExtendShard16 is ExtendShard for the packed 16-bit row: identical
+// structure and halo protocol, int32 arithmetic, saturating 16-bit stores.
+// The per-cell strips live in sweep16.go under the same bounds-check audit
+// as the 32-bit ones.
+func ExtendShard16(shard *Row16, query []int8, refShard []int8, cfg IntConfig, haloIn, haloOut *Halo16) IntResult {
+	m := len(refShard)
+	if m != shard.Len() {
+		panic("sdtw: shard/reference length mismatch")
+	}
+	if m == 0 {
+		return IntResult{EndPos: -1}
+	}
+	if haloIn != nil && haloIn.Len() < len(query) {
+		panic("sdtw: halo shallower than the query extension")
+	}
+	if haloOut != nil {
+		haloOut.Reserve(len(query))
+	}
+	cost, run, ref := shard.Cost[:m], shard.Run[:m], refShard[:m]
+	bonus, cap_ := cfg.MatchBonus, cfg.BonusCap
+	if bonus == 0 {
+		cap_ = 0 // run values are then only ever compared against cap_
+	}
+	if cap_ > math.MaxInt8 {
+		cap_ = math.MaxInt8 // run counters must fit the packed int8 field
+	}
+	one := boolToInt32(cap_ > 0)
+	n := len(query)
+	best := IntResult{EndPos: -1}
+	for t := 0; t < n; t++ {
+		q := int32(query[t])
+		if haloOut != nil {
+			haloOut.Cost[t], haloOut.Run[t] = cost[m-1], run[m-1]
+		}
+		diagCost, diagRun := int32(cost[0]), int32(run[0])
+		d := q - int32(ref[0])
+		if d < 0 {
+			d = -d
+		}
+		var c0 int32
+		if haloIn == nil {
+			c0 = sat16(diagCost + d)
+			cost[0] = int16(c0)
+			if diagRun < cap_ {
+				run[0] = int8(diagRun + 1)
+			}
+		} else {
+			diag := int32(haloIn.Cost[t]) - bonus*int32(haloIn.Run[t])
+			if diag <= diagCost {
+				c0 = sat16(d + diag)
+				cost[0] = int16(c0)
+				run[0] = int8(one)
+			} else {
+				c0 = sat16(d + diagCost)
+				cost[0] = int16(c0)
+				vr := diagRun
+				if vr < cap_ {
+					vr++
+				}
+				run[0] = int8(vr)
+			}
+		}
+		if t == n-1 {
+			bc, bp := sweepRowBest16(cost, run, ref, q, diagCost, diagRun, bonus, cap_, one)
+			best = IntResult{Cost: c0, EndPos: 0}
+			if bc < c0 {
+				best = IntResult{Cost: bc, EndPos: bp}
+			}
+		} else {
+			sweepRow16(cost, run, ref, q, diagCost, diagRun, bonus, cap_, one)
+		}
+	}
+	shard.Samples += n
+	if n == 0 {
+		best = scanBest16(cost)
+	}
+	return best
+}
+
+// Extend16 is Extend for the packed row: ExtendShard16 over a single shard
+// spanning the whole reference.
+func Extend16(row *Row16, query []int8, ref []int8, cfg IntConfig) IntResult {
+	if row.Len() != len(ref) {
+		panic("sdtw: row/reference length mismatch")
+	}
+	if len(ref) == 0 {
+		return IntResult{EndPos: -1}
+	}
+	return ExtendShard16(row, query, ref, cfg, nil, nil)
+}
+
+// IntDP16 runs a complete single-shot 16-bit alignment of query against
+// ref.
+func IntDP16(query, ref []int8, cfg IntConfig) IntResult {
+	row := NewRow16(len(ref))
+	return Extend16(row, query, ref, cfg)
+}
+
+// ShardedRow16 is ShardedRow for the packed row: fixed-width shard views
+// aliasing one backing Row16, with Halo16 ping-pong buffers for the serial
+// blocked extension.
+type ShardedRow16 struct {
+	row    *Row16
+	width  int
+	shards []Row16
+	bounds []int
+	haloA  Halo16
+	haloB  Halo16
+}
+
+// ShardRow16 wraps an existing packed row in shard views of the given
+// width, with the same clamping rules as ShardRow.
+func ShardRow16(row *Row16, width int) *ShardedRow16 {
+	m := row.Len()
+	if m == 0 {
+		panic("sdtw: cannot shard an empty row")
+	}
+	if width < 1 || width > m {
+		width = m
+	}
+	n := (m + width - 1) / width
+	sr := &ShardedRow16{row: row, width: width, shards: make([]Row16, n), bounds: make([]int, n+1)}
+	for k := 0; k < n; k++ {
+		lo := k * width
+		hi := lo + width
+		if hi > m {
+			hi = m
+		}
+		sr.shards[k] = Row16{Cost: row.Cost[lo:hi:hi], Run: row.Run[lo:hi:hi], Samples: row.Samples}
+		sr.bounds[k] = lo
+	}
+	sr.bounds[n] = m
+	return sr
+}
+
+// NewShardedRow16 builds a fresh packed boundary row of length m pre-split
+// into width-column shards.
+func NewShardedRow16(m, width int) *ShardedRow16 {
+	return ShardRow16(NewRow16(m), width)
+}
+
+// Row returns the backing full-length row.
+func (sr *ShardedRow16) Row() *Row16 { return sr.row }
+
+// NumShards returns the shard count.
+func (sr *ShardedRow16) NumShards() int { return len(sr.shards) }
+
+// Width returns the configured shard width.
+func (sr *ShardedRow16) Width() int { return sr.width }
+
+// Shard returns the k-th shard view.
+func (sr *ShardedRow16) Shard(k int) *Row16 { return &sr.shards[k] }
+
+// Bounds returns the k-th shard's half-open global column range [lo, hi).
+func (sr *ShardedRow16) Bounds(k int) (lo, hi int) {
+	return sr.bounds[k], sr.bounds[k+1]
+}
+
+// ExtendWith is ShardedRow.ExtendWith for the packed row: the same serial
+// halo-chaining loop with Halo16 buffers.
+func (sr *ShardedRow16) ExtendWith(n int, fn func(k, lo int, shard *Row16, haloIn, haloOut *Halo16) IntResult) IntResult {
+	best := IntResult{EndPos: -1}
+	var in *Halo16
+	for k := range sr.shards {
+		lo := sr.bounds[k]
+		var out *Halo16
+		if k < len(sr.shards)-1 {
+			out = &sr.haloA
+			if k%2 == 1 {
+				out = &sr.haloB
+			}
+		}
+		best = MergeShardResult(best, fn(k, lo, &sr.shards[k], in, out), lo)
+		in = out
+	}
+	sr.row.Samples += n
+	return best
+}
+
+// Extend consumes query samples across every shard — the cache-blocked
+// 16-bit kernel, bit-identical to Extend16 on the same inputs (property-
+// tested in int16_test.go).
+func (sr *ShardedRow16) Extend(query []int8, ref []int8, cfg IntConfig) IntResult {
+	if len(ref) != sr.row.Len() {
+		panic("sdtw: row/reference length mismatch")
+	}
+	return sr.ExtendWith(len(query), func(_, lo int, shard *Row16, haloIn, haloOut *Halo16) IntResult {
+		return ExtendShard16(shard, query, ref[lo:lo+shard.Len()], cfg, haloIn, haloOut)
+	})
+}

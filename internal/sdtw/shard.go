@@ -67,9 +67,10 @@ func (h *Halo) Len() int { return len(h.Cost) }
 //
 // This is the one blocked inner loop every engine shares: Extend is
 // ExtendShard over a single full-width shard, so sharded and unsharded
-// classification are bit-identical by construction. Bounds checks are
-// hoisted by reslicing cost/run/ref to the shard width once, and the
-// Cost/Run walks are fused into the single in-place column sweep.
+// classification are bit-identical by construction. The per-cell strips
+// live in sweep.go (branchless, 4-wide unrolled, bounds-check-free); the
+// end-of-extension row minimum rides the final sample's sweep instead of
+// costing a separate full-row pass per call.
 func ExtendShard(shard *Row, query []int8, refShard []int8, cfg IntConfig, haloIn, haloOut *Halo) IntResult {
 	m := len(refShard)
 	if m != shard.Len() {
@@ -91,8 +92,11 @@ func ExtendShard(shard *Row, query []int8, refShard []int8, cfg IntConfig, haloI
 	if bonus == 0 {
 		cap_ = 0 // run values are then only ever compared against cap_
 	}
-	for t, qs := range query {
-		q := int32(qs)
+	one := boolToInt32(cap_ > 0)
+	n := len(query)
+	best := IntResult{EndPos: -1}
+	for t := 0; t < n; t++ {
+		q := int32(query[t])
 		if haloOut != nil {
 			// The right neighbour's diagonal operand for sample t is this
 			// shard's last column *before* sample t lands.
@@ -104,10 +108,12 @@ func ExtendShard(shard *Row, query []int8, refShard []int8, cfg IntConfig, haloI
 		if d < 0 {
 			d = -d
 		}
+		var c0 int32
 		if haloIn == nil {
 			// Global column 0: vertical transition only (the free start is
 			// encoded in the boundary row).
-			cost[0] += d
+			c0 = cost[0] + d
+			cost[0] = c0
 			if run[0] < cap_ {
 				run[0]++
 			}
@@ -116,45 +122,37 @@ func ExtendShard(shard *Row, query []int8, refShard []int8, cfg IntConfig, haloI
 			diag := haloIn.Cost[t] - bonus*haloIn.Run[t]
 			vc, vr := cost[0], run[0]
 			if diag <= vc {
-				cost[0] = d + diag
-				run[0] = boolToInt32(cap_ > 0)
+				c0 = d + diag
+				cost[0] = c0
+				run[0] = one
 			} else {
-				cost[0] = d + vc
+				c0 = d + vc
+				cost[0] = c0
 				if vr < cap_ {
 					vr++
 				}
 				run[0] = vr
 			}
 		}
-		for j := 1; j < m; j++ {
-			d := q - int32(ref[j])
-			if d < 0 {
-				d = -d
+		if t == n-1 {
+			// Final sample: the row-wide minimum is tracked inside the
+			// sweep itself — no separate scan pass. Column 0 seeds the
+			// best so the earliest column wins ties, as the ascending
+			// strict-< scan always did.
+			bc, bp := sweepRowBest(cost, run, ref, q, diagCost, diagRun, bonus, cap_, one)
+			best = IntResult{Cost: c0, EndPos: 0}
+			if bc < c0 {
+				best = IntResult{Cost: bc, EndPos: bp}
 			}
-			// run is pre-clamped to cap, so the bonus is a single
-			// multiply (the hardware uses a shift-add of the capped
-			// dwell counter).
-			diag := diagCost - bonus*diagRun
-			vc, vr := cost[j], run[j]
-			diagCost, diagRun = vc, vr
-			if diag <= vc {
-				cost[j] = d + diag
-				run[j] = boolToInt32(cap_ > 0)
-			} else {
-				cost[j] = d + vc
-				if vr < cap_ {
-					vr++
-				}
-				run[j] = vr
-			}
+		} else {
+			sweepRow(cost, run, ref, q, diagCost, diagRun, bonus, cap_, one)
 		}
-		shard.Samples++
 	}
-	best := IntResult{Cost: cost[0], EndPos: 0}
-	for j := 1; j < m; j++ {
-		if cost[j] < best.Cost {
-			best.Cost, best.EndPos = cost[j], j
-		}
+	shard.Samples += n
+	if n == 0 {
+		// Degenerate zero-sample extension: nothing swept, so the minimum
+		// of the untouched row is scanned directly.
+		best = scanBest(cost)
 	}
 	return best
 }

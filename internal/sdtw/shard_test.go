@@ -227,22 +227,47 @@ func TestExtendShardValidation(t *testing.T) {
 	mustPanic("empty row", func() { ShardRow(NewRow(0), 1) })
 }
 
+// Per-cell DP row traffic of each kernel, for the roofline bandwidth
+// metric: loads of cost+run+reference plus stores of cost+run.
+const (
+	row32CellBytes = 4 + 4 + 1 + 4 + 4 // Row: int32 cost, int32 run
+	row16CellBytes = 2 + 1 + 1 + 2 + 1 // Row16: int16 cost, int8 run
+)
+
+// reportCellMetrics emits the two named metrics every kernel benchmark
+// shares — DP cell updates per second and the effective DP-row bandwidth
+// those updates move — so the CI bench ratchet (cmd/benchdiff) parses one
+// stable key across kernels and shard widths.
+func reportCellMetrics(b *testing.B, n, m int, bytesPerCell int) {
+	b.Helper()
+	cells := float64(OpCount(n, m)) * float64(b.N)
+	perSec := cells / b.Elapsed().Seconds()
+	b.ReportMetric(perSec, "cells/sec")
+	b.ReportMetric(perSec*float64(bytesPerCell)/1e9, "GB/s")
+}
+
 // BenchmarkRowReset pins the per-read cost of row reuse — Reset sits on
-// the engine's sync.Pool hot path, once per session. The reference length
-// is the SARS-CoV-2 both-strand squiggle.
+// the engine's sync.Pool hot path, once per session — and doubles as the
+// machine's memclr bandwidth ceiling for the roofline table, reported as
+// the same named GB/s metric the kernel benchmarks emit. The reference
+// length is the SARS-CoV-2 both-strand squiggle.
 func BenchmarkRowReset(b *testing.B) {
 	row := NewRow(59796)
-	b.SetBytes(int64(row.Len()) * 8) // 4 bytes cost + 4 bytes run
+	bytes := int64(row.Len()) * 8 // 4 bytes cost + 4 bytes run
+	b.SetBytes(bytes)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		row.Reset()
 	}
+	b.StopTimer()
+	b.ReportMetric(float64(bytes)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GB/s")
 }
 
 // BenchmarkExtendShard measures the blocked kernel: a 2,000-sample chunk
 // (the paper's default stage) against a SARS-CoV-2-scale reference,
 // unsharded versus cache-blocked at several shard widths. The cells/sec
-// metric is DP cell updates per second.
+// metric is DP cell updates per second; GB/s is the DP-row traffic those
+// updates imply at the kernel's bytes/cell.
 func BenchmarkExtendShard(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	const n, m = 2000, 59796
@@ -256,8 +281,7 @@ func BenchmarkExtendShard(b *testing.B) {
 			sr.Extend(query, ref, cfg)
 		}
 		b.StopTimer()
-		cells := float64(OpCount(n, m)) * float64(b.N)
-		b.ReportMetric(cells/b.Elapsed().Seconds(), "cells/sec")
+		reportCellMetrics(b, n, m, row32CellBytes)
 	}
 	b.Run("unsharded", func(b *testing.B) { bench(b, m) })
 	for _, width := range []int{4096, 8192, 16384} {

@@ -1,0 +1,263 @@
+package sdtw
+
+// The 32-bit row sweeps: the per-cell inner loops of ExtendShard, kept in
+// this file so the CI bounds-check audit (scripts/check_bce.sh) can assert
+// that `go build -gcflags=-d=ssa/check_bce` reports no IsInBounds inside
+// them. Everything per-row (halo exchange, column 0, sample accounting)
+// stays in shard.go; this file is cells only.
+//
+// The recurrence has no intra-row dependency — cell j reads only the
+// previous row's columns j-1 (carried in the diagCost/diagRun locals) and
+// j — so consecutive cells are independent work the CPU can overlap. The
+// strip below exploits that three ways:
+//
+//   - 4-wide unrolling: the four old-row loads happen up front, then four
+//     independent cell computations retire per iteration with the diagonal
+//     handed register-to-register;
+//   - branchless selection: the diagonal-vs-vertical choice and the run
+//     clamp compile to conditional moves (and the absolute difference to a
+//     shift/xor/sub), so the randomly-taken comparison costs no branch
+//     mispredicts — this is worth ~2x alone on random signal;
+//   - bounds-check elimination: the strips advance the slices themselves
+//     (cost = cost[4:]) under a compound length condition instead of
+//     indexing with a shared counter. Go's prove pass eliminates every
+//     check in this form; an induction variable shared between the
+//     unrolled strip and its scalar tail defeats it (verified against
+//     go1.24 with -d=ssa/check_bce, which is why the loops look this way).
+//
+// sweepRowBest is the same strip with the row-wide best tracked as cells
+// are written: the end-of-extension minimum scan rides the final sample's
+// sweep for free instead of costing a separate full-row pass per call.
+
+// sweepRow advances one query sample q across columns [1, m) of a shard
+// row in place. diagCost/diagRun are the previous row's column-0 state
+// (the S[i-1][j-1] operand of column 1); bonus, cap_ and one are the
+// pre-resolved match-bonus constants of ExtendShard.
+func sweepRow(cost, run []int32, ref []int8, q, diagCost, diagRun, bonus, cap_, one int32) {
+	m := len(cost)
+	if m < 2 {
+		return
+	}
+	cost, run, ref = cost[1:m], run[1:m], ref[1:m]
+	for len(cost) >= 4 && len(run) >= 4 && len(ref) >= 4 {
+		vc0, vr0 := cost[0], run[0]
+		vc1, vr1 := cost[1], run[1]
+		vc2, vr2 := cost[2], run[2]
+		vc3, vr3 := cost[3], run[3]
+
+		d := q - int32(ref[0])
+		s := d >> 31
+		d = (d ^ s) - s
+		diag := diagCost - bonus*diagRun
+		nr := vr0 + 1
+		if nr > cap_ {
+			nr = cap_
+		}
+		c, r := vc0, nr
+		if diag <= vc0 {
+			c, r = diag, one
+		}
+		cost[0], run[0] = d+c, r
+
+		d = q - int32(ref[1])
+		s = d >> 31
+		d = (d ^ s) - s
+		diag = vc0 - bonus*vr0
+		nr = vr1 + 1
+		if nr > cap_ {
+			nr = cap_
+		}
+		c, r = vc1, nr
+		if diag <= vc1 {
+			c, r = diag, one
+		}
+		cost[1], run[1] = d+c, r
+
+		d = q - int32(ref[2])
+		s = d >> 31
+		d = (d ^ s) - s
+		diag = vc1 - bonus*vr1
+		nr = vr2 + 1
+		if nr > cap_ {
+			nr = cap_
+		}
+		c, r = vc2, nr
+		if diag <= vc2 {
+			c, r = diag, one
+		}
+		cost[2], run[2] = d+c, r
+
+		d = q - int32(ref[3])
+		s = d >> 31
+		d = (d ^ s) - s
+		diag = vc2 - bonus*vr2
+		nr = vr3 + 1
+		if nr > cap_ {
+			nr = cap_
+		}
+		c, r = vc3, nr
+		if diag <= vc3 {
+			c, r = diag, one
+		}
+		cost[3], run[3] = d+c, r
+
+		diagCost, diagRun = vc3, vr3
+		cost, run, ref = cost[4:], run[4:], ref[4:]
+	}
+	for len(cost) > 0 && len(run) > 0 && len(ref) > 0 {
+		vc, vr := cost[0], run[0]
+		d := q - int32(ref[0])
+		s := d >> 31
+		d = (d ^ s) - s
+		diag := diagCost - bonus*diagRun
+		nr := vr + 1
+		if nr > cap_ {
+			nr = cap_
+		}
+		c, r := vc, nr
+		if diag <= vc {
+			c, r = diag, one
+		}
+		cost[0], run[0] = d+c, r
+		diagCost, diagRun = vc, vr
+		cost, run, ref = cost[1:], run[1:], ref[1:]
+	}
+}
+
+// sweepRowBest is sweepRow with the row-wide minimum tracked as cells are
+// written, for the extension's final query sample. It returns the best
+// cost over columns [1, m) and its column (earliest on ties, matching the
+// ascending strict-< scan it replaces); the caller merges column 0. The
+// column counter j is bookkeeping only — it never indexes a slice, so it
+// cannot reintroduce bounds checks.
+func sweepRowBest(cost, run []int32, ref []int8, q, diagCost, diagRun, bonus, cap_, one int32) (bestCost int32, bestPos int) {
+	bestCost = int32(1<<31 - 1)
+	bestPos = -1
+	m := len(cost)
+	if m < 2 {
+		return bestCost, bestPos
+	}
+	cost, run, ref = cost[1:m], run[1:m], ref[1:m]
+	j := 1
+	for len(cost) >= 4 && len(run) >= 4 && len(ref) >= 4 {
+		vc0, vr0 := cost[0], run[0]
+		vc1, vr1 := cost[1], run[1]
+		vc2, vr2 := cost[2], run[2]
+		vc3, vr3 := cost[3], run[3]
+
+		d := q - int32(ref[0])
+		s := d >> 31
+		d = (d ^ s) - s
+		diag := diagCost - bonus*diagRun
+		nr := vr0 + 1
+		if nr > cap_ {
+			nr = cap_
+		}
+		c, r := vc0, nr
+		if diag <= vc0 {
+			c, r = diag, one
+		}
+		nc := d + c
+		cost[0], run[0] = nc, r
+		if nc < bestCost {
+			bestCost, bestPos = nc, j
+		}
+
+		d = q - int32(ref[1])
+		s = d >> 31
+		d = (d ^ s) - s
+		diag = vc0 - bonus*vr0
+		nr = vr1 + 1
+		if nr > cap_ {
+			nr = cap_
+		}
+		c, r = vc1, nr
+		if diag <= vc1 {
+			c, r = diag, one
+		}
+		nc = d + c
+		cost[1], run[1] = nc, r
+		if nc < bestCost {
+			bestCost, bestPos = nc, j+1
+		}
+
+		d = q - int32(ref[2])
+		s = d >> 31
+		d = (d ^ s) - s
+		diag = vc1 - bonus*vr1
+		nr = vr2 + 1
+		if nr > cap_ {
+			nr = cap_
+		}
+		c, r = vc2, nr
+		if diag <= vc2 {
+			c, r = diag, one
+		}
+		nc = d + c
+		cost[2], run[2] = nc, r
+		if nc < bestCost {
+			bestCost, bestPos = nc, j+2
+		}
+
+		d = q - int32(ref[3])
+		s = d >> 31
+		d = (d ^ s) - s
+		diag = vc2 - bonus*vr2
+		nr = vr3 + 1
+		if nr > cap_ {
+			nr = cap_
+		}
+		c, r = vc3, nr
+		if diag <= vc3 {
+			c, r = diag, one
+		}
+		nc = d + c
+		cost[3], run[3] = nc, r
+		if nc < bestCost {
+			bestCost, bestPos = nc, j+3
+		}
+
+		diagCost, diagRun = vc3, vr3
+		cost, run, ref = cost[4:], run[4:], ref[4:]
+		j += 4
+	}
+	for len(cost) > 0 && len(run) > 0 && len(ref) > 0 {
+		vc, vr := cost[0], run[0]
+		d := q - int32(ref[0])
+		s := d >> 31
+		d = (d ^ s) - s
+		diag := diagCost - bonus*diagRun
+		nr := vr + 1
+		if nr > cap_ {
+			nr = cap_
+		}
+		c, r := vc, nr
+		if diag <= vc {
+			c, r = diag, one
+		}
+		nc := d + c
+		cost[0], run[0] = nc, r
+		if nc < bestCost {
+			bestCost, bestPos = nc, j
+		}
+		diagCost, diagRun = vc, vr
+		cost, run, ref = cost[1:], run[1:], ref[1:]
+		j++
+	}
+	return bestCost, bestPos
+}
+
+// scanBest is the standalone row minimum for the degenerate zero-sample
+// extension (no sweep to fuse into): earliest column on ties.
+func scanBest(cost []int32) IntResult {
+	if len(cost) == 0 {
+		return IntResult{EndPos: -1}
+	}
+	best := IntResult{Cost: cost[0], EndPos: 0}
+	for j := 1; j < len(cost); j++ {
+		if cost[j] < best.Cost {
+			best.Cost, best.EndPos = cost[j], j
+		}
+	}
+	return best
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Bounds-check audit for the sDTW hot strips: the register-resident
+# recurrence in sweep.go and sweep16.go is written in the slice-advance
+# form precisely so the compiler's prove pass eliminates every per-cell
+# bounds check; this script fails CI if one ever comes back (a refactor
+# re-introducing a shared induction variable is the usual culprit).
+#
+# Only `Found IsInBounds` diagnostics in the sweep files count: the
+# one-time entry reslices legitimately emit `Found IsSliceInBounds`, and
+# other files in the package are not on the per-cell hot path. The -a flag
+# defeats the build cache so the diagnostics are always emitted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(go build -a -gcflags='squigglefilter/internal/sdtw=-d=ssa/check_bce' ./internal/sdtw 2>&1 || true)
+hits=$(echo "$out" | grep 'Found IsInBounds' | grep -E 'sweep(16)?\.go' || true)
+if [ -n "$hits" ]; then
+  echo "bounds checks found in the sDTW hot strips:" >&2
+  echo "$hits" >&2
+  exit 1
+fi
+echo "sDTW hot strips are bounds-check free"

@@ -121,6 +121,11 @@ type DetectorConfig struct {
 	// bit-identical to unsharded ones by construction; the GPU baseline
 	// models whole-kernel launches and ignores Shards.
 	Shards int
+	// Kernel selects the software DP cell layout: KernelInt32 (default,
+	// the reference 32-bit cells) or KernelInt16 (packed saturating
+	// 16-bit cells, same verdicts at under half the row traffic). The
+	// hardware and GPU models are unaffected.
+	Kernel Kernel
 	// Realtime, when set (ClockHz > 0), puts the detector's scheduler in
 	// deadline mode: every DP task carries a decision deadline of one
 	// chunk-delivery period, the earliest-deadline task runs first, and
@@ -164,6 +169,25 @@ func (rc RealtimeConfig) window() time.Duration {
 // threshold "relatively robust across species and sequencing runs".
 const DefaultThresholdPerSample = 3
 
+// Kernel selects the software classifier's DP cell layout.
+type Kernel int
+
+const (
+	// KernelInt32 is the reference layout: 32-bit costs and run counters.
+	KernelInt32 Kernel = iota
+	// KernelInt16 is the packed saturating layout: 16-bit costs and 8-bit
+	// run counters — under half the DP-row memory traffic per cell, with
+	// verdicts identical to KernelInt32 on every schedule it admits. It
+	// requires every stage threshold to sit at or below
+	// sdtw.Sat16MaxThreshold (about 26,600 cost units — an order of
+	// magnitude above any calibrated ejection threshold); NewDetector
+	// rejects hotter schedules.
+	KernelInt16
+)
+
+// String names the kernel as back-ends and tools report it.
+func (k Kernel) String() string { return engine.KernelKind(k).String() }
+
 // Detector classifies raw nanopore read prefixes against one target
 // genome. It is safe for concurrent use.
 type Detector struct {
@@ -172,6 +196,7 @@ type Detector struct {
 	filter   *sdtw.Filter
 	cfg      sdtw.IntConfig
 	stages   []sdtw.Stage
+	kernel   Kernel
 	realtime RealtimeConfig
 
 	sw     engine.Backend   // direct software path (concurrency-safe)
@@ -224,9 +249,10 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 	if shards < 1 {
 		shards = 1
 	}
+	kind := engine.KernelKind(cfg.Kernel)
 	// The one-shot software back-end uses the serial cache-blocked sharded
 	// path; the pipeline below layers intra-read parallelism on top.
-	swBackend, err := engine.NewSoftwareSharded(ref.Int8, icfg, shards)
+	swBackend, err := engine.NewSoftwareShardedKernel(ref.Int8, icfg, shards, kind)
 	if err != nil {
 		return nil, fmt.Errorf("squigglefilter: %w", err)
 	}
@@ -235,7 +261,7 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 		return nil, fmt.Errorf("squigglefilter: %w", err)
 	}
 	swPipe, err := engine.NewPipeline(func() (engine.Backend, error) {
-		return engine.NewSoftware(ref.Int8, icfg)
+		return engine.NewSoftwareKernel(ref.Int8, icfg, kind)
 	}, workers, internalStages)
 	if err != nil {
 		return nil, fmt.Errorf("squigglefilter: %w", err)
@@ -273,6 +299,7 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 		filter:   filter,
 		cfg:      icfg,
 		stages:   internalStages,
+		kernel:   cfg.Kernel,
 		realtime: cfg.Realtime,
 		sw:       swBackend,
 		gpu:      gpuBackend,
@@ -294,6 +321,10 @@ func (d *Detector) Workers() int { return d.swPipe.Workers() }
 // Shards returns the resolved reference shard count of the software
 // classification paths (1 when unsharded).
 func (d *Detector) Shards() int { return d.swPipe.Shards() }
+
+// Kernel returns the software DP cell layout the detector classifies
+// with.
+func (d *Detector) Kernel() Kernel { return d.kernel }
 
 // Realtime returns the configured real-time provisioning (zero when the
 // detector schedules best-effort).
