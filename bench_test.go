@@ -184,6 +184,7 @@ func benchPanelSession(b *testing.B, nTargets int, prune bool) {
 	b.StopTimer()
 	b.ReportMetric(float64(fed)*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
 	b.ReportMetric(float64(dp)/float64(len(reads)), "dpsamples/read")
+	b.ReportMetric(float64(len(reads))*float64(b.N)/b.Elapsed().Seconds(), "reads/sec")
 	b.ReportMetric(float64(nTargets), "targets")
 }
 
@@ -198,6 +199,93 @@ func BenchmarkPanelSession(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkCascade1000 is the thousand-target workload the cascade
+// exists for: a 1,000-genome panel at the default cascade configuration,
+// reads drawn from a handful of present targets. The untimed exact pass
+// over the full panel supplies both the per-read ground truth and the
+// baseline DP cost; the timed loop then streams the same reads through
+// the cascade. Reported metrics: dpsamples/read converts both tiers'
+// DP cells into exact-tier sample equivalents (references are uniform
+// length, so cells/refLevels is exact), recall is the fraction of
+// exact-attributed reads the cascade attributes identically, and xfewer
+// is the exact panel's DP samples over the cascade's — the acceptance
+// bar is >= 10 at recall 1.0. CI uploads the -json output as
+// BENCH_cascade.json and ratchets dpsamples/read (lower is better).
+func BenchmarkCascade1000(b *testing.B) {
+	const nTargets = 1000
+	rng := rand.New(rand.NewSource(7))
+	genomes := make([]*genome.Genome, nTargets)
+	cfgs := make([]DetectorConfig, nTargets)
+	for i := range cfgs {
+		genomes[i] = &genome.Genome{
+			Name: fmt.Sprintf("target-%03d", i),
+			Seq:  genome.Random(rng, 800),
+		}
+		cfgs[i] = DetectorConfig{Name: genomes[i].Name, Sequence: genomes[i].Seq.String(), Workers: 1}
+	}
+	cp, err := NewCascadePanel(cfgs, CascadeConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := squiggle.NewSimulator(pore.DefaultModel(), squiggle.DefaultConfig(), 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reads [][]int16
+	for _, gi := range []int{3, 250, 611, 940} { // the sparse present set
+		for r := 0; r < 2; r++ {
+			reads = append(reads, sim.ReadFrom(genomes[gi], rng.Intn(100), 700, rng.Intn(2) == 1).Samples)
+		}
+	}
+	det, err := NewDetector(DetectorConfig{Name: "probe", Sequence: genomes[0].Seq.String()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	refLevels := float64(det.ReferenceSamples())
+
+	exact := cp.Panel()
+	winners := make([]int, len(reads))
+	var exactDP int64
+	for i, r := range reads {
+		sess, err := exact.NewSession(PrunePolicy{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, _ := sess.Stream(r, 400)
+		winners[i] = v.Best
+		exactDP += sess.DPSamples()
+	}
+
+	var dpCells, hit, attributed int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dpCells, hit, attributed = 0, 0, 0
+		for ri, r := range reads {
+			sess, err := cp.NewSession(PrunePolicy{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			v, _ := sess.Stream(r, 400)
+			dpCells += sess.DPCells()
+			if winners[ri] >= 0 {
+				attributed++
+				if v.Best == winners[ri] {
+					hit++
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	cascadeSamples := float64(dpCells) / refLevels
+	b.ReportMetric(cascadeSamples/float64(len(reads)), "dpsamples/read")
+	b.ReportMetric(float64(len(reads))*float64(b.N)/b.Elapsed().Seconds(), "reads/sec")
+	if attributed > 0 {
+		b.ReportMetric(float64(hit)/float64(attributed), "recall")
+	}
+	b.ReportMetric(float64(exactDP)/cascadeSamples, "xfewer")
+	b.ReportMetric(nTargets, "targets")
 }
 
 // BenchmarkPanelClassifySingle pins the single-target Panel.Classify

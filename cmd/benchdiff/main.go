@@ -4,15 +4,17 @@
 //
 //	benchdiff -old baseline.json -new current.json \
 //	          [-pattern '^BenchmarkExtendShard'] [-metric cells/sec] \
-//	          [-tolerance 0.10]
+//	          [-tolerance 0.10] [-lower]
 //
 // Inputs are `go test -json -bench` streams (the BENCH_*.json artifacts CI
 // uploads) or plain `go test -bench` text; both parse to the same
 // name -> metric -> value table. For every benchmark matching -pattern in
 // the baseline, the new value of -metric (higher is better) must be at
-// least (1 - tolerance) times the old one; a matching benchmark that
-// disappeared from the new run also fails, so the ratchet cannot be dodged
-// by deleting the benchmark. New benchmarks absent from the baseline pass —
+// least (1 - tolerance) times the old one; with -lower the metric is
+// lower-is-better (e.g. dpsamples/read) and the new value must be at most
+// (1 + tolerance) times the old. A matching benchmark that disappeared
+// from the new run also fails, so the ratchet cannot be dodged by
+// deleting the benchmark. New benchmarks absent from the baseline pass —
 // they become the next run's baseline.
 //
 // Exit status: 0 when every ratcheted benchmark holds, 1 on regression,
@@ -109,9 +111,10 @@ type regression struct {
 }
 
 // compare ratchets every baseline benchmark matching pattern: the new
-// value of metric must be >= old*(1-tolerance). It returns the violations
-// and the benchmarks it checked.
-func compare(old, new benchTable, pattern *regexp.Regexp, metric string, tolerance float64) (checked []string, bad []regression) {
+// value of metric must be >= old*(1-tolerance), or <= old*(1+tolerance)
+// when the metric is lower-is-better. It returns the violations and the
+// benchmarks it checked.
+func compare(old, new benchTable, pattern *regexp.Regexp, metric string, tolerance float64, lower bool) (checked []string, bad []regression) {
 	for name, oldMetrics := range old {
 		if !pattern.MatchString(name) {
 			continue
@@ -127,7 +130,11 @@ func compare(old, new benchTable, pattern *regexp.Regexp, metric string, toleran
 			continue
 		}
 		newV := newMetrics[metric]
-		if newV < oldV*(1-tolerance) {
+		regressed := newV < oldV*(1-tolerance)
+		if lower {
+			regressed = newV > oldV*(1+tolerance)
+		}
+		if regressed {
 			bad = append(bad, regression{name: name, old: oldV, new: newV})
 		}
 	}
@@ -149,6 +156,7 @@ func main() {
 	pattern := flag.String("pattern", "^BenchmarkExtendShard", "regexp of benchmark names to ratchet")
 	metric := flag.String("metric", "cells/sec", "higher-is-better metric unit to compare")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression before failing")
+	lower := flag.Bool("lower", false, "treat the metric as lower-is-better (ratchet against rises instead of drops)")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		flag.Usage()
@@ -169,7 +177,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	checked, bad := compare(oldT, newT, re, *metric, *tolerance)
+	checked, bad := compare(oldT, newT, re, *metric, *tolerance, *lower)
 	if len(checked) == 0 {
 		fmt.Printf("benchdiff: baseline has no %q benchmarks with a %s metric; nothing to ratchet\n", *pattern, *metric)
 		return
@@ -182,9 +190,12 @@ func main() {
 	if len(bad) > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% on %s:\n", len(bad), *tolerance*100, *metric)
 		for _, r := range bad {
-			if r.missing {
+			switch {
+			case r.missing:
 				fmt.Fprintf(os.Stderr, "  %s: missing from the new run (baseline %.4g)\n", r.name, r.old)
-			} else {
+			case *lower:
+				fmt.Fprintf(os.Stderr, "  %s: %.4g -> %.4g (%.1f%% rise)\n", r.name, r.old, r.new, 100*(r.new/r.old-1))
+			default:
 				fmt.Fprintf(os.Stderr, "  %s: %.4g -> %.4g (%.1f%% drop)\n", r.name, r.old, r.new, 100*(1-r.new/r.old))
 			}
 		}

@@ -66,7 +66,7 @@ func TestCompareRatchet(t *testing.T) {
 	// Within tolerance (5% drop at 10% tolerance): holds.
 	cur := mustTable(t, "BenchmarkExtendShard/unsharded-4 1 1 ns/op 3.8e+08 cells/sec\n"+
 		"BenchmarkExtendShard16/unsharded-4 1 1 ns/op 4.2e+08 cells/sec\n")
-	checked, bad := compare(old, cur, re, "cells/sec", 0.10)
+	checked, bad := compare(old, cur, re, "cells/sec", 0.10, false)
 	if len(checked) != 2 || len(bad) != 0 {
 		t.Fatalf("checked=%v bad=%v, want 2 checked and none bad", checked, bad)
 	}
@@ -74,13 +74,13 @@ func TestCompareRatchet(t *testing.T) {
 	// A 12.5% drop on one benchmark: that one fails.
 	cur = mustTable(t, "BenchmarkExtendShard/unsharded-4 1 1 ns/op 3.5e+08 cells/sec\n"+
 		"BenchmarkExtendShard16/unsharded-4 1 1 ns/op 4.0e+08 cells/sec\n")
-	if _, bad = compare(old, cur, re, "cells/sec", 0.10); len(bad) != 1 || bad[0].name != "BenchmarkExtendShard/unsharded" {
+	if _, bad = compare(old, cur, re, "cells/sec", 0.10, false); len(bad) != 1 || bad[0].name != "BenchmarkExtendShard/unsharded" {
 		t.Fatalf("bad=%+v, want exactly the regressed benchmark", bad)
 	}
 
 	// Deleting a ratcheted benchmark fails too.
 	cur = mustTable(t, "BenchmarkExtendShard/unsharded-4 1 1 ns/op 4.0e+08 cells/sec\n")
-	if _, bad = compare(old, cur, re, "cells/sec", 0.10); len(bad) != 1 || !bad[0].missing {
+	if _, bad = compare(old, cur, re, "cells/sec", 0.10, false); len(bad) != 1 || !bad[0].missing {
 		t.Fatalf("bad=%+v, want one missing-benchmark violation", bad)
 	}
 
@@ -89,7 +89,34 @@ func TestCompareRatchet(t *testing.T) {
 	cur = mustTable(t, "BenchmarkExtendShard/unsharded-4 1 1 ns/op 4.0e+08 cells/sec\n"+
 		"BenchmarkExtendShard16/unsharded-4 1 1 ns/op 4.0e+08 cells/sec\n"+
 		"BenchmarkExtendShard/width=8192-4 1 1 ns/op 1e+06 cells/sec\n")
-	if checked, bad = compare(old, cur, re, "cells/sec", 0.10); len(checked) != 2 || len(bad) != 0 {
+	if checked, bad = compare(old, cur, re, "cells/sec", 0.10, false); len(checked) != 2 || len(bad) != 0 {
 		t.Fatalf("checked=%v bad=%v, want the 2 baseline benchmarks and no violations", checked, bad)
+	}
+}
+
+func TestCompareLowerIsBetter(t *testing.T) {
+	re := regexp.MustCompile("^BenchmarkCascade1000|^BenchmarkPanelSession")
+	old := mustTable(t, "BenchmarkCascade1000-2 1 1 ns/op 85000 dpsamples/read\n"+
+		"BenchmarkPanelSession-2 1 1 ns/op 16000 dpsamples/read\n")
+
+	// A 5% rise at 10% tolerance holds; a 5% drop is an improvement.
+	cur := mustTable(t, "BenchmarkCascade1000-2 1 1 ns/op 89000 dpsamples/read\n"+
+		"BenchmarkPanelSession-2 1 1 ns/op 15200 dpsamples/read\n")
+	checked, bad := compare(old, cur, re, "dpsamples/read", 0.10, true)
+	if len(checked) != 2 || len(bad) != 0 {
+		t.Fatalf("checked=%v bad=%v, want 2 checked and none bad", checked, bad)
+	}
+
+	// A 25% rise fails the lower-is-better ratchet.
+	cur = mustTable(t, "BenchmarkCascade1000-2 1 1 ns/op 106000 dpsamples/read\n"+
+		"BenchmarkPanelSession-2 1 1 ns/op 16000 dpsamples/read\n")
+	if _, bad = compare(old, cur, re, "dpsamples/read", 0.10, true); len(bad) != 1 || bad[0].name != "BenchmarkCascade1000" {
+		t.Fatalf("bad=%+v, want exactly the risen benchmark", bad)
+	}
+
+	// Deleting a ratcheted benchmark still fails in lower mode.
+	cur = mustTable(t, "BenchmarkCascade1000-2 1 1 ns/op 85000 dpsamples/read\n")
+	if _, bad = compare(old, cur, re, "dpsamples/read", 0.10, true); len(bad) != 1 || !bad[0].missing {
+		t.Fatalf("bad=%+v, want one missing-benchmark violation", bad)
 	}
 }

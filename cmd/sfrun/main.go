@@ -8,7 +8,8 @@
 //	sfrun -data sample.sqgl -ref ref.txt -rt [-channels 512] [-rt-sec 60]
 //	      [-backend sw|hw|gpu] [-kernel int32|int16]
 //	sfrun -data sample.sqgl -panel refA.txt,refB.txt,... [-stream]
-//	      [-prune-margin M] [-threshold N] [-prefix 2000] [-shards S]
+//	      [-cascade [-topk K] [-decimate D]] [-prune-margin M]
+//	      [-threshold N] [-prefix 2000] [-shards S]
 //
 // Without -threshold, the threshold is calibrated on the dataset's ground
 // truth (best F1). The scheduler dispatches batch reads (and each read's
@@ -52,6 +53,14 @@
 // leader by more than M cost units per sample stop consuming DP work;
 // negative M, the default, disables pruning and keeps streamed verdicts
 // bit-identical to the one-shot path).
+//
+// -cascade puts the two-tier filtering cascade in front of the panel:
+// each read's prefix is scored decimated against every target's decimated
+// reference and only the top-k survivors (per read-rate hypothesis) run
+// the exact panel. -topk and -decimate override the cascade defaults
+// (0 keeps them); the report adds survivors/read and the coarse tier's
+// DP cost. -topk at or above the panel size degenerates to the plain
+// panel, bit-identically.
 package main
 
 import (
@@ -167,6 +176,9 @@ func main() {
 	stream := flag.Bool("stream", false, "replay reads through incremental sessions on the selected backend's instance pool")
 	chunk := flag.Int("chunk", 400, "streaming chunk size in samples (~0.1 s of signal)")
 	pruneMargin := flag.Int("prune-margin", -1, "panel stream cross-target prune margin in cost units/sample (< 0 disables)")
+	cascade := flag.Bool("cascade", false, "filter the panel through the coarse cascade tier before exact classification")
+	topk := flag.Int("topk", 0, "cascade survivors per read-rate hypothesis (0 = default)")
+	decimate := flag.Int("decimate", 0, "cascade coarse-tier decimation factor (0 = default)")
 	rt := flag.Bool("rt", false, "run the real-time flow-cell simulation (virtual clock, deadline-aware scheduler) instead of batch classification")
 	channels := flag.Int("channels", 512, "flow-cell channel count for -rt")
 	rtSec := flag.Float64("rt-sec", 60, "simulated seconds for -rt")
@@ -193,6 +205,12 @@ func main() {
 	if *rt && *panelRefs != "" {
 		log.Fatalf("-rt runs single-target flow cells; use -ref")
 	}
+	if *cascade && *panelRefs == "" {
+		log.Fatalf("-cascade filters a multi-target panel; it needs -panel")
+	}
+	if (*topk != 0 || *decimate != 0) && !*cascade {
+		log.Fatalf("-topk and -decimate configure the cascade; add -cascade")
+	}
 
 	f, err := os.Open(*dataPath)
 	if err != nil {
@@ -212,7 +230,8 @@ func main() {
 	}
 
 	if *panelRefs != "" {
-		runPanel(reads, *panelRefs, *prefix, int32(*threshold), *stream, *chunk, *pruneMargin, *shards)
+		runPanel(reads, *panelRefs, *prefix, int32(*threshold), *stream, *chunk, *pruneMargin, *shards,
+			*cascade, *topk, *decimate)
 		return
 	}
 
@@ -386,7 +405,9 @@ func runRealtime(reads []*squiggle.Read, seq, backend string, kernel engine.Kern
 // runPanel classifies the dataset against several references at once,
 // one-shot (ClassifyBatch) or streamed through PanelSessions with
 // optional cross-target pruning, and prints a per-target summary table.
-func runPanel(reads []*squiggle.Read, panelRefs string, prefix int, threshold int32, stream bool, chunk, pruneMargin, shards int) {
+// With cascade set, reads run through the two-tier CascadePanel instead:
+// the coarse tier picks survivors per read and only they do exact DP.
+func runPanel(reads []*squiggle.Read, panelRefs string, prefix int, threshold int32, stream bool, chunk, pruneMargin, shards int, cascade bool, topk, decimate int) {
 	if threshold == 0 {
 		threshold = int32(prefix) * squigglefilter.DefaultThresholdPerSample
 	}
@@ -408,12 +429,27 @@ func runPanel(reads []*squiggle.Read, panelRefs string, prefix int, threshold in
 			Shards:   shards,
 		})
 	}
-	panel, err := squigglefilter.NewPanel(cfgs)
-	if err != nil {
-		log.Fatal(err)
+	var panel *squigglefilter.Panel
+	var cp *squigglefilter.CascadePanel
+	if cascade {
+		var err error
+		cp, err = squigglefilter.NewCascadePanel(cfgs, squigglefilter.CascadeConfig{Decimation: decimate, TopK: topk})
+		if err != nil {
+			log.Fatal(err)
+		}
+		panel = cp.Panel()
+		cc := cp.Config()
+		fmt.Printf("config: backend=sw targets=%d shards=%d cascade decimate=%d topk=%d coarse-prefix=%d\n",
+			len(panel.Targets()), shards, cc.Decimation, cc.TopK, cc.CoarsePrefix)
+	} else {
+		var err error
+		panel, err = squigglefilter.NewPanel(cfgs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("config: backend=sw targets=%d shards=%d\n", len(panel.Targets()), shards)
 	}
 	names := panel.Targets()
-	fmt.Printf("config: backend=sw targets=%d shards=%d\n", len(names), shards)
 	prune := squigglefilter.PrunePolicy{Enabled: pruneMargin >= 0, MarginPerSample: pruneMargin}
 
 	samples := make([][]int16, len(reads))
@@ -445,8 +481,29 @@ func runPanel(reads []*squiggle.Read, panelRefs string, prefix int, threshold in
 			}
 		}
 	}
+	var coarseDP, survivors int64
 	start := time.Now()
-	if stream {
+	switch {
+	case cascade:
+		// Cascade classification is inherently sessionful (the coarse tier
+		// buffers the prefix); without -stream the whole read feeds at once.
+		mode = "panel/cascade"
+		ck := 0
+		if stream {
+			mode = "panel/cascade-stream"
+			ck = chunk
+		}
+		for i, s := range samples {
+			sess, err := cp.NewSession(prune)
+			if err != nil {
+				log.Fatal(err)
+			}
+			v, _ := sess.Stream(s, ck)
+			tally(i, v)
+			coarseDP += sess.CoarseDPSamples()
+			survivors += int64(len(sess.Survivors()))
+		}
+	case stream:
 		mode = "panel/stream"
 		for i, s := range samples {
 			sess, err := panel.NewSession(prune)
@@ -461,7 +518,7 @@ func runPanel(reads []*squiggle.Read, panelRefs string, prefix int, threshold in
 				}
 			}
 		}
-	} else {
+	default:
 		for i, v := range panel.ClassifyBatch(samples) {
 			tally(i, v)
 		}
@@ -478,6 +535,11 @@ func runPanel(reads []*squiggle.Read, panelRefs string, prefix int, threshold in
 	}
 	fmt.Printf("%d reads: %d attributed, %d all-reject, %d undecided\n",
 		len(reads), len(reads)-int(rejected)-int(undecided), rejected, undecided)
+	if cascade {
+		fmt.Printf("cascade: %.1f survivors/read of %d targets, %.0f coarse DP samples/read (decimated), %.1f exact DP samples/read\n",
+			float64(survivors)/float64(len(reads)), len(names),
+			float64(coarseDP)/float64(len(reads)), float64(totalDP)/float64(len(reads)))
+	}
 	if prune.Enabled {
 		fmt.Printf("pruning margin %d/sample: %.1f DP samples/read across the panel\n",
 			prune.MarginPerSample, float64(totalDP)/float64(len(reads)))

@@ -1,0 +1,576 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"squigglefilter/internal/engine/sched"
+	"squigglefilter/internal/normalize"
+	"squigglefilter/internal/sdtw"
+	"squigglefilter/internal/squiggle"
+)
+
+// The filtering cascade: a cheap coarse tier ahead of the exact panel.
+//
+// An N-target panel costs O(N) exact first-stage DPs per read even with
+// cross-target pruning, because pruning only engages after some target
+// accepts. The cascade bounds that: the read's first CoarsePrefix raw
+// samples are decimated to roughly one sample per Decimation bases of
+// genome (factor Decimation×dwell, since raw signal dwells ~10 samples
+// per base) and scored against every target's Decimation×-decimated
+// reference with the packed 16-bit kernel — roughly
+// N·(prefix/(d·dwell))·(refLen/d) DP cells per dwell hypothesis, a
+// d²·dwell reduction per target, so 1,000 decimated targets cost less
+// than a single exact one.
+//
+// A read's true dwell varies ±~25% read to read (the sequencer's rate
+// jitter), and the no-ref-deletion recurrence is one-sidedly fragile to
+// that: decimate the query past the read's own dwell and the alignment
+// cannot dwell on every coarse reference column — the true target's cost
+// goes from best to indistinguishable from noise. No single decimation
+// factor serves every read, so the coarse tier scores three dwell
+// hypotheses (QueryDwell-2, QueryDwell, QueryDwell+2) and keeps the
+// union of each hypothesis's top-k: costs rank targets only within one
+// hypothesis (where every target sees the same query), never across
+// hypotheses, so a mismatched hypothesis contributes at worst k junk
+// survivors while the matched one preserves the winner. The targets
+// ranking inside a hypothesis's top-k (plus any within Margin of its
+// k-th, so exact ties are never split arbitrarily) survive into a plain
+// PanelSession over just those targets; everything the exact tier does —
+// stage schedules, leader pruning, verdict ranking — is the existing
+// panel machinery unchanged.
+
+// Cascade defaults: 8× decimation, 8 survivors per dwell hypothesis
+// (pruning converges the exact tier further), zero margin (exact ties
+// with the k-th still survive), a 6,000-sample coarse prefix, and dwell
+// hypotheses centered on 8 — deliberately under the sequencer's nominal
+// ~10 samples per base, because the recurrence tolerates an
+// under-decimated query (it dwells) but not an over-decimated one. The
+// EXPERIMENTS.md sweeps justify all four: at these settings the
+// 600-target recall diagnostic placed every true target at union rank
+// <= 1.
+const (
+	DefaultDecimation   = 8
+	DefaultTopK         = 8
+	DefaultCoarsePrefix = 6000
+	DefaultQueryDwell   = 8
+
+	// dwellSpread is the half-width of the dwell hypothesis set around
+	// QueryDwell, covering the sequencer's per-read rate jitter.
+	dwellSpread = 2
+)
+
+// CascadeConfig parameterizes the coarse tier.
+type CascadeConfig struct {
+	// Decimation is the mean-pooling factor applied to both the reference
+	// squiggles and the read prefix. 0 means DefaultDecimation; 1 scores
+	// at full rate (no decimation).
+	Decimation int
+	// TopK is how many coarse survivors reach the exact tier. 0 means
+	// DefaultTopK; TopK >= len(targets) disables the coarse tier entirely,
+	// making the cascade bit-identical to the plain panel.
+	TopK int
+	// Margin widens the survivor cut: any target whose coarse cost is
+	// within Margin per decimated sample of the k-th best also survives.
+	// Zero (the default) still keeps exact ties with the k-th.
+	Margin int64
+	// CoarsePrefix is how many raw samples the coarse tier scores before
+	// committing to survivors. 0 means DefaultCoarsePrefix.
+	CoarsePrefix int
+	// QueryDwell centers the coarse tier's dwell hypotheses: the read
+	// prefix is decimated by Decimation*dw for each dw in {QueryDwell-2,
+	// QueryDwell, QueryDwell+2}, where the references — one level per
+	// base — are decimated by Decimation alone, landing both sides at
+	// the same genomic scale (one sample per ~Decimation bases). Without
+	// the dwell factor a decimated query still carries ~1 sample per
+	// base (raw signal dwells ~10 samples on each) and matches the
+	// *full-rate* reference shape, not the decimated one; with a single
+	// fixed factor, reads whose own dwell undershoots it become
+	// unalignable under the no-ref-deletion recurrence. 0 means
+	// DefaultQueryDwell.
+	QueryDwell int
+}
+
+func (c CascadeConfig) withDefaults() CascadeConfig {
+	if c.Decimation == 0 {
+		c.Decimation = DefaultDecimation
+	}
+	if c.TopK == 0 {
+		c.TopK = DefaultTopK
+	}
+	if c.CoarsePrefix == 0 {
+		c.CoarsePrefix = DefaultCoarsePrefix
+	}
+	if c.QueryDwell == 0 {
+		c.QueryDwell = DefaultQueryDwell
+	}
+	return c
+}
+
+// queryFactors returns the raw-sample decimation factor of the coarse
+// query under each dwell hypothesis, ascending and deduplicated (small
+// QueryDwell values clamp the low hypothesis to dwell 1).
+func (c CascadeConfig) queryFactors() []int {
+	out := make([]int, 0, 3)
+	for _, dw := range [3]int{c.QueryDwell - dwellSpread, c.QueryDwell, c.QueryDwell + dwellSpread} {
+		if dw < 1 {
+			dw = 1
+		}
+		f := c.Decimation * dw
+		if len(out) == 0 || f != out[len(out)-1] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (c CascadeConfig) validate() error {
+	switch {
+	case c.Decimation < 1:
+		return fmt.Errorf("engine: cascade decimation must be >= 1, got %d", c.Decimation)
+	case c.TopK < 1:
+		return fmt.Errorf("engine: cascade top-k must be >= 1, got %d", c.TopK)
+	case c.Margin < 0:
+		return fmt.Errorf("engine: cascade margin must be non-negative, got %d", c.Margin)
+	case c.CoarsePrefix < 1:
+		return fmt.Errorf("engine: cascade coarse prefix must be >= 1, got %d", c.CoarsePrefix)
+	case c.QueryDwell < 1:
+		return fmt.Errorf("engine: cascade query dwell must be >= 1, got %d", c.QueryDwell)
+	}
+	return nil
+}
+
+// Cascade pairs an exact Panel with the decimated coarse references that
+// gate it. It is safe for concurrent use: coarse scoring state lives in a
+// per-worker pool and per-read state in CascadeSession.
+type Cascade struct {
+	panel  *Panel
+	cfg    CascadeConfig
+	coarse [][]int8
+	icfg   sdtw.IntConfig
+	// sch prices and bounds the coarse tier's DP like any other back-end
+	// work: each per-target score borrows a slot with the 16-bit kernel's
+	// calibrated service time as its cost, so EDF ordering and the
+	// utilization accounting the flow-cell verdict reads stay honest.
+	sch     *sched.Scheduler
+	workers int
+	scorers sync.Pool
+}
+
+// NewCascade builds a cascade in front of panel. coarseRefs holds the
+// decimated (and re-normalized, re-quantized) reference squiggle for each
+// panel target, in panel order; icfg is the sDTW cost configuration the
+// coarse scorer runs with (normally the same defaults as the exact tier).
+func NewCascade(panel *Panel, coarseRefs [][]int8, icfg sdtw.IntConfig, cfg CascadeConfig) (*Cascade, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if panel == nil {
+		return nil, fmt.Errorf("engine: cascade needs a panel")
+	}
+	if len(coarseRefs) != len(panel.targets) {
+		return nil, fmt.Errorf("engine: %d coarse references for %d panel targets",
+			len(coarseRefs), len(panel.targets))
+	}
+	// Validate the references once here so the pooled constructor below
+	// cannot fail, and probe a panel session so promotion cannot either
+	// (it fails only for pipelines this package did not build).
+	if _, err := sdtw.NewCoarseScorer(coarseRefs, icfg); err != nil {
+		return nil, err
+	}
+	if probe, err := panel.NewSession(PrunePolicy{}); err != nil {
+		return nil, fmt.Errorf("engine: cascade exact tier: %w", err)
+	} else {
+		probe.Finalize()
+	}
+	workers := len(panel.targets)
+	if n := runtime.NumCPU(); workers > n {
+		workers = n
+	}
+	c := &Cascade{
+		panel:   panel,
+		cfg:     cfg,
+		coarse:  coarseRefs,
+		icfg:    icfg,
+		sch:     sched.New(workers),
+		workers: workers,
+	}
+	c.scorers.New = func() any {
+		s, err := sdtw.NewCoarseScorer(coarseRefs, icfg)
+		if err != nil {
+			panic(err) // unreachable: references validated at construction
+		}
+		return s
+	}
+	return c, nil
+}
+
+// Config returns the resolved (defaulted) configuration.
+func (c *Cascade) Config() CascadeConfig { return c.cfg }
+
+// Panel returns the exact tier.
+func (c *Cascade) Panel() *Panel { return c.panel }
+
+// coarseServiceTime models one coarse score's DP time from the 16-bit
+// kernel's calibrated per-cell rate.
+func coarseServiceTime(queryLen, refLen int) time.Duration {
+	cells := float64(queryLen) * float64(refLen)
+	return time.Duration(cells * sw16CellSeconds() * float64(time.Second))
+}
+
+// CoarseServiceTime returns the modeled wall time of one read's full
+// coarse pass — every dwell hypothesis over every target — given the raw
+// prefix length it will score: the figure flow-cell keep-up accounting
+// adds per read on top of the exact tier's ServiceTime.
+func (c *Cascade) CoarseServiceTime(rawPrefix int) time.Duration {
+	if rawPrefix > c.cfg.CoarsePrefix {
+		rawPrefix = c.cfg.CoarsePrefix
+	}
+	if rawPrefix <= 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, qf := range c.cfg.queryFactors() {
+		qlen := (rawPrefix + qf - 1) / qf
+		for _, ref := range c.coarse {
+			total += coarseServiceTime(qlen, len(ref))
+		}
+	}
+	return total
+}
+
+// scoreAll ranks the decimated query against every coarse reference,
+// fanning targets across the bounded worker set. Every query scores
+// against every reference at the same length, so raw costs rank targets
+// directly — no per-target normalization is needed within one read.
+func (c *Cascade) scoreAll(q []int8) []int32 {
+	n := len(c.coarse)
+	costs := make([]int32, n)
+	score := func(i int) {
+		idx, err := c.sch.Acquire(context.Background(), sched.Task{
+			Cost: coarseServiceTime(len(q), len(c.coarse[i])),
+		})
+		if err != nil {
+			panic(err) // unreachable: the background context never cancels
+		}
+		s := c.scorers.Get().(*sdtw.CoarseScorer)
+		costs[i] = s.Score(q, i).Cost
+		c.scorers.Put(s)
+		c.sch.Release(idx)
+	}
+	if c.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			score(i)
+		}
+		return costs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < c.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				score(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return costs
+}
+
+// survivors picks the panel indices whose coarse cost is at most the k-th
+// best plus Margin per decimated sample — top-k with ties and near-ties
+// kept rather than split arbitrarily. Indices return in ascending panel
+// order, so the exact tier's earliest-index tie-breaking matches the full
+// panel's.
+func (c *Cascade) survivors(costs []int32, qlen int) []int {
+	n := len(costs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if costs[order[a]] != costs[order[b]] {
+			return costs[order[a]] < costs[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	cut := int64(costs[order[c.cfg.TopK-1]]) + c.cfg.Margin*int64(qlen)
+	out := make([]int, 0, c.cfg.TopK)
+	for i := 0; i < n; i++ {
+		if int64(costs[i]) <= cut {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CascadeSession is the incremental form of cascade classification: raw
+// chunks buffer until the coarse prefix is complete, the coarse tier
+// picks survivors, and the buffered signal replays into a PanelSession
+// over just those survivors — bit-identical to having streamed the same
+// chunks into it from the start, by the panel session's chunking
+// invariance. Later chunks pass straight through. Like PanelSession it is
+// single-read and single-goroutine.
+type CascadeSession struct {
+	c     *Cascade
+	prune PrunePolicy
+	// buf accumulates raw samples until promotion; nil afterwards.
+	buf []int16
+	fed int
+	// inner is the exact tier over the survivors; nil until promotion.
+	inner       *PanelSession
+	surv        []int     // survivor panel indices, ascending
+	coarseCost  [][]int32 // per dwell hypothesis, per target
+	scored      bool
+	coarseDP    int64 // decimated samples scored, summed over targets
+	coarseCells int64 // coarse DP cells, summed over targets
+	done        bool
+}
+
+// NewSession starts an incremental cascade classification of one read.
+// The prune policy governs the exact tier exactly as in Panel.NewSession.
+func (c *Cascade) NewSession(prune PrunePolicy) (*CascadeSession, error) {
+	if err := prune.validate(); err != nil {
+		return nil, err
+	}
+	return &CascadeSession{c: c, prune: prune}, nil
+}
+
+// Feed delivers a chunk of raw samples and returns the panel verdict so
+// far plus whether the read is decided. Before promotion the verdict is
+// all-Continue (the coarse tier has not committed); afterwards it is the
+// survivor panel's verdict expanded to full panel order, with coarse-
+// rejected targets reported as Reject.
+func (cs *CascadeSession) Feed(chunk []int16) (PanelResult, bool) {
+	done := cs.feedChunk(chunk)
+	return cs.snapshot(), done
+}
+
+func (cs *CascadeSession) feedChunk(chunk []int16) bool {
+	if cs.done {
+		return true
+	}
+	cs.fed += len(chunk)
+	if cs.inner == nil {
+		cs.buf = append(cs.buf, chunk...)
+		if len(cs.buf) < cs.c.cfg.CoarsePrefix {
+			return false
+		}
+		cs.promote()
+		buf := cs.buf
+		cs.buf = nil
+		cs.done = cs.inner.feed(buf)
+		return cs.done
+	}
+	cs.done = cs.inner.feed(chunk)
+	return cs.done
+}
+
+// promote runs the coarse tier on the buffered prefix and opens the exact
+// tier over the survivors. With TopK covering the whole panel the coarse
+// tier is skipped outright (every target survives, zero coarse DP); with
+// an empty buffer — a read finalized before any signal — there is no
+// evidence to prune on, so every target survives and decides on nothing,
+// exactly as the plain panel would.
+func (cs *CascadeSession) promote() {
+	c := cs.c
+	n := len(c.panel.targets)
+	if c.cfg.TopK >= n || len(cs.buf) == 0 {
+		cs.surv = make([]int, n)
+		for i := range cs.surv {
+			cs.surv[i] = i
+		}
+	} else {
+		prefix := cs.buf
+		if len(prefix) > c.cfg.CoarsePrefix {
+			prefix = prefix[:c.cfg.CoarsePrefix]
+		}
+		// Score every dwell hypothesis and keep the union of each one's
+		// top-k: ranks are only meaningful within a hypothesis, and the
+		// hypothesis matching the read's true rate is the one that keeps
+		// the exact winner.
+		keep := make([]bool, n)
+		for _, qf := range c.cfg.queryFactors() {
+			q := normalize.ApplyInt8(squiggle.DecimateInt16(prefix, qf))
+			costs := c.scoreAll(q)
+			cs.coarseCost = append(cs.coarseCost, costs)
+			cs.coarseDP += int64(len(q)) * int64(n)
+			for _, ref := range c.coarse {
+				cs.coarseCells += int64(len(q)) * int64(len(ref))
+			}
+			for _, i := range c.survivors(costs, len(q)) {
+				keep[i] = true
+			}
+		}
+		cs.scored = true
+		cs.surv = cs.surv[:0]
+		for i, k := range keep {
+			if k {
+				cs.surv = append(cs.surv, i)
+			}
+		}
+	}
+	sub := make([]Target, len(cs.surv))
+	for j, i := range cs.surv {
+		sub[j] = c.panel.targets[i]
+	}
+	subPanel, err := NewPanel(sub)
+	if err == nil {
+		cs.inner, err = subPanel.NewSession(cs.prune)
+	}
+	if err != nil {
+		// Unreachable: survivors are non-empty (TopK >= 1), the prune
+		// policy was validated at NewSession, and sessionability was
+		// probed at NewCascade.
+		panic(err)
+	}
+}
+
+// Finalize signals that the read ended. A read shorter than the coarse
+// prefix promotes on whatever buffered, then the survivor panel finalizes
+// on the full buffered signal.
+func (cs *CascadeSession) Finalize() PanelResult {
+	if cs.done {
+		return cs.snapshot()
+	}
+	if cs.inner == nil {
+		cs.promote()
+		buf := cs.buf
+		cs.buf = nil
+		if len(buf) > 0 {
+			cs.inner.feed(buf)
+		}
+	}
+	cs.inner.Finalize()
+	cs.done = true
+	return cs.snapshot()
+}
+
+// Stream feeds a read's signal in chunkSamples-sized deliveries (<= 0
+// feeds everything at once), stopping once decided, then finalizes — the
+// cascade twin of PanelSession.Stream.
+func (cs *CascadeSession) Stream(samples []int16, chunkSamples int) (PanelResult, bool) {
+	if chunkSamples <= 0 {
+		chunkSamples = len(samples)
+	}
+	done := false
+	for off := 0; off < len(samples) && !done; off += chunkSamples {
+		end := off + chunkSamples
+		if end > len(samples) {
+			end = len(samples)
+		}
+		done = cs.feedChunk(samples[off:end])
+	}
+	return cs.Finalize(), done
+}
+
+// Decided reports whether every surviving target has decided or been
+// pruned.
+func (cs *CascadeSession) Decided() bool { return cs.done }
+
+// SamplesFed returns the raw samples delivered so far.
+func (cs *CascadeSession) SamplesFed() int { return cs.fed }
+
+// Promoted reports whether the coarse tier has committed to survivors.
+func (cs *CascadeSession) Promoted() bool { return cs.inner != nil }
+
+// Survivors returns the panel indices the coarse tier kept, in ascending
+// panel order; nil before promotion. The slice is a copy.
+func (cs *CascadeSession) Survivors() []int {
+	if cs.surv == nil {
+		return nil
+	}
+	out := make([]int, len(cs.surv))
+	copy(out, cs.surv)
+	return out
+}
+
+// CoarseCosts returns each target's coarse-tier cost in panel order, one
+// row per dwell hypothesis (ascending decimation factor), or nil when
+// the coarse tier did not score (not promoted yet, or skipped because
+// TopK covered the panel). Costs compare only within a row. The slices
+// are copies.
+func (cs *CascadeSession) CoarseCosts() [][]int32 {
+	if !cs.scored {
+		return nil
+	}
+	out := make([][]int32, len(cs.coarseCost))
+	for h, row := range cs.coarseCost {
+		out[h] = make([]int32, len(row))
+		copy(out[h], row)
+	}
+	return out
+}
+
+// DPSamples returns the raw samples that entered exact-tier DP across the
+// surviving targets — directly comparable to PanelSession.DPSamples on
+// the full panel.
+func (cs *CascadeSession) DPSamples() int64 {
+	if cs.inner == nil {
+		return 0
+	}
+	return cs.inner.DPSamples()
+}
+
+// CoarseDPSamples returns the decimated samples the coarse tier scored,
+// summed over targets (zero when the coarse tier was skipped).
+func (cs *CascadeSession) CoarseDPSamples() int64 { return cs.coarseDP }
+
+// DPCells returns the total DP cells computed across both tiers — the
+// apples-to-apples work metric for comparing a cascade against an exact
+// panel, since coarse cells and exact cells are the same kernel cell at
+// different reference lengths.
+func (cs *CascadeSession) DPCells() int64 {
+	cells := cs.coarseCells
+	if cs.inner != nil {
+		for j, i := range cs.surv {
+			cells += int64(cs.inner.per[j].SamplesUsed) * int64(cs.c.panel.targets[i].Pipeline.RefLen())
+		}
+	}
+	return cells
+}
+
+// snapshot expands the survivor panel's verdict to full panel order.
+// Coarse-rejected targets report Reject with no samples consumed — the
+// cascade's claim that the exact tier would have rejected them, which
+// TestCascadeNeverDropsExactWinner holds to the only consequence that
+// matters: the winner is never among them.
+func (cs *CascadeSession) snapshot() PanelResult {
+	n := len(cs.c.panel.targets)
+	per := make([]Result, n)
+	if cs.inner == nil {
+		for i := range per {
+			per[i] = Result{Decision: sdtw.Continue, EndPos: -1}
+		}
+		return panelResult(per)
+	}
+	for i := range per {
+		per[i] = Result{Decision: sdtw.Reject, EndPos: -1}
+	}
+	for j, i := range cs.surv {
+		per[i] = cs.inner.per[j]
+	}
+	return panelResult(per)
+}
+
+// Classify runs one read through the cascade in one shot.
+func (c *Cascade) Classify(samples []int16) PanelResult {
+	cs, err := c.NewSession(PrunePolicy{})
+	if err != nil {
+		panic(err) // unreachable: the zero policy always validates
+	}
+	r, _ := cs.Stream(samples, 0)
+	return r
+}

@@ -1,0 +1,265 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"squigglefilter/internal/sdtw"
+	"squigglefilter/internal/squiggle"
+)
+
+// coarseRefFor decimates a normalized int8 reference for cascade tests:
+// float mean-pooling of the int8 levels, rounded back to int8. The
+// engine-level tests only need coarse references that behave like the
+// exact ones at 1/d rate; the public API layer owns the real
+// decimate-renormalize-quantize path.
+func coarseRefFor(ref []int8, d int) []int8 {
+	f := make([]float64, len(ref))
+	for i, v := range ref {
+		f[i] = float64(v)
+	}
+	dec := squiggle.Decimate(f, d)
+	out := make([]int8, len(dec))
+	for i, v := range dec {
+		r := int(v + 0.5)
+		if v < 0 {
+			r = int(v - 0.5)
+		}
+		if r > 127 {
+			r = 127
+		} else if r < -127 {
+			r = -127
+		}
+		out[i] = int8(r)
+	}
+	return out
+}
+
+// swCascade builds a cascade over software targets with decimated copies
+// of their own references as the coarse tier.
+func swCascade(t testing.TB, panel *Panel, refs [][]int8, cfg CascadeConfig) *Cascade {
+	t.Helper()
+	d := cfg.Decimation
+	if d == 0 {
+		d = DefaultDecimation
+	}
+	coarse := make([][]int8, len(refs))
+	for i, r := range refs {
+		coarse[i] = coarseRefFor(r, d)
+	}
+	c, err := NewCascade(panel, coarse, sdtw.DefaultIntConfig(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCascadeSurvivorSelection pins the survivor cut: top-k by cost, ties
+// with the k-th kept, margin widening the cut, indices ascending.
+func TestCascadeSurvivorSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cfg := sdtw.DefaultIntConfig()
+	refs := [][]int8{randomRef(rng, 400), randomRef(rng, 400), randomRef(rng, 400), randomRef(rng, 400)}
+	stages := []sdtw.Stage{{PrefixSamples: 400, Threshold: 400 * 3}}
+	targets := make([]Target, len(refs))
+	for i, r := range refs {
+		targets[i] = swTarget(t, "t", r, cfg, 1, stages)
+	}
+	panel := swPanel(t, targets)
+
+	c := swCascade(t, panel, refs, CascadeConfig{TopK: 2})
+	cases := []struct {
+		costs  []int32
+		margin int64
+		qlen   int
+		want   []int
+	}{
+		// Distinct costs: plain top-2, ascending panel order.
+		{[]int32{40, 10, 30, 20}, 0, 100, []int{1, 3}},
+		// Exact tie with the k-th: all tied targets survive.
+		{[]int32{20, 10, 20, 20}, 0, 100, []int{0, 1, 2, 3}},
+		// Margin per decimated sample widens the cut: 20 + 1*10 = 30.
+		{[]int32{40, 10, 30, 20}, 1, 10, []int{1, 2, 3}},
+	}
+	for _, tc := range cases {
+		c.cfg.Margin = tc.margin
+		got := c.survivors(tc.costs, tc.qlen)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("survivors(%v, margin=%d, qlen=%d) = %v, want %v",
+				tc.costs, tc.margin, tc.qlen, got, tc.want)
+		}
+	}
+}
+
+// TestCascadeTopKCoversPanel: with TopK >= len(targets) the coarse tier is
+// skipped (zero coarse DP) and the streamed cascade verdict is
+// bit-identical to one-shot Panel.Classify.
+func TestCascadeTopKCoversPanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	cfg := sdtw.DefaultIntConfig()
+	refs := [][]int8{randomRef(rng, 1000), randomRef(rng, 1000), randomRef(rng, 1000)}
+	stages := []sdtw.Stage{{PrefixSamples: 600, Threshold: 600 * 4}}
+	targets := make([]Target, len(refs))
+	for i, r := range refs {
+		targets[i] = swTarget(t, "t", r, cfg, 1, stages)
+	}
+	panel := swPanel(t, targets)
+	c := swCascade(t, panel, refs, CascadeConfig{TopK: len(refs), CoarsePrefix: 300})
+
+	for trial := 0; trial < 20; trial++ {
+		read := randomRead(rng, 200+rng.Intn(900))
+		want := panel.Classify(read)
+		cs, err := c.NewSession(PrunePolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := cs.Stream(read, 150)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: cascade %+v != panel %+v", trial, got, want)
+		}
+		if cs.CoarseDPSamples() != 0 || cs.CoarseCosts() != nil {
+			t.Fatalf("trial %d: coarse tier ran despite TopK covering the panel", trial)
+		}
+		if got := cs.Survivors(); len(got) != len(refs) {
+			t.Fatalf("trial %d: survivors = %v, want all %d targets", trial, got, len(refs))
+		}
+	}
+}
+
+// TestCascadeSurvivorResultsMatchPanel: survivors' per-target results are
+// bit-identical to the plain panel's, non-survivors report Reject, and
+// the DP accounting reflects both tiers.
+func TestCascadeSurvivorResultsMatchPanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	cfg := sdtw.DefaultIntConfig()
+	const n = 8
+	refs := make([][]int8, n)
+	targets := make([]Target, n)
+	stages := []sdtw.Stage{{PrefixSamples: 800, Threshold: 800 * 4}}
+	for i := range refs {
+		refs[i] = randomRef(rng, 1200)
+		targets[i] = swTarget(t, "t", refs[i], cfg, 1, stages)
+	}
+	panel := swPanel(t, targets)
+	c := swCascade(t, panel, refs, CascadeConfig{TopK: 3, Decimation: 4, CoarsePrefix: 400})
+
+	for trial := 0; trial < 10; trial++ {
+		read := randomRead(rng, 1000)
+		want := panel.Classify(read)
+		cs, err := c.NewSession(PrunePolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := cs.Stream(read, 128)
+		surv := cs.Survivors()
+		if len(surv) < 3 {
+			t.Fatalf("trial %d: %d survivors, want >= TopK", trial, len(surv))
+		}
+		isSurv := make(map[int]bool, len(surv))
+		for _, i := range surv {
+			isSurv[i] = true
+		}
+		for i := range got.PerTarget {
+			if isSurv[i] {
+				if !reflect.DeepEqual(got.PerTarget[i], want.PerTarget[i]) {
+					t.Errorf("trial %d target %d: survivor result %+v != panel %+v",
+						trial, i, got.PerTarget[i], want.PerTarget[i])
+				}
+			} else if got.PerTarget[i].Decision != sdtw.Reject || got.PerTarget[i].SamplesUsed != 0 {
+				t.Errorf("trial %d target %d: non-survivor result %+v, want bare Reject",
+					trial, i, got.PerTarget[i])
+			}
+		}
+		if cs.CoarseDPSamples() == 0 || cs.DPCells() <= cs.CoarseDPSamples() {
+			t.Errorf("trial %d: implausible DP accounting: coarse %d samples, %d cells",
+				trial, cs.CoarseDPSamples(), cs.DPCells())
+		}
+		if exact := cs.DPSamples(); exact != int64(len(surv))*800 {
+			t.Errorf("trial %d: exact-tier DP = %d samples, want %d survivors x 800",
+				trial, exact, len(surv))
+		}
+	}
+}
+
+// TestCascadeEmptyAndShortReads: a read finalized before any signal keeps
+// every target (all Continue, matching the plain panel on nil input), and
+// a read shorter than the coarse prefix still promotes and scores on
+// Finalize.
+func TestCascadeEmptyAndShortReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	cfg := sdtw.DefaultIntConfig()
+	refs := [][]int8{randomRef(rng, 800), randomRef(rng, 800), randomRef(rng, 800)}
+	stages := []sdtw.Stage{{PrefixSamples: 500, Threshold: 500 * 4}}
+	targets := make([]Target, len(refs))
+	for i := range refs {
+		targets[i] = swTarget(t, "t", refs[i], cfg, 1, stages)
+	}
+	panel := swPanel(t, targets)
+	c := swCascade(t, panel, refs, CascadeConfig{TopK: 1, Decimation: 4, CoarsePrefix: 600})
+
+	cs, err := c.NewSession(PrunePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := cs.Finalize()
+	if want := panel.Classify(nil); !reflect.DeepEqual(empty, want) {
+		t.Errorf("empty read: cascade %+v != panel %+v", empty, want)
+	}
+	if len(cs.Survivors()) != len(refs) {
+		t.Errorf("empty read pruned targets with no evidence: survivors %v", cs.Survivors())
+	}
+
+	short, err := c.NewSession(PrunePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := randomRead(rng, 300) // < CoarsePrefix
+	short.Feed(read)
+	if short.Promoted() {
+		t.Fatal("promoted before the coarse prefix filled or the read ended")
+	}
+	short.Finalize()
+	if !short.Promoted() || short.CoarseCosts() == nil {
+		t.Fatal("short read did not score the coarse tier on Finalize")
+	}
+	if got := len(short.Survivors()); got < 1 {
+		t.Fatalf("short read kept %d survivors", got)
+	}
+}
+
+// TestCascadeConfigValidation pins constructor validation.
+func TestCascadeConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	cfg := sdtw.DefaultIntConfig()
+	ref := randomRef(rng, 400)
+	stages := []sdtw.Stage{{PrefixSamples: 400, Threshold: 400 * 3}}
+	panel := swPanel(t, []Target{swTarget(t, "t", ref, cfg, 1, stages)})
+	coarse := [][]int8{coarseRefFor(ref, 8)}
+
+	for _, bad := range []CascadeConfig{
+		{Decimation: -1},
+		{TopK: -2},
+		{Margin: -1},
+		{CoarsePrefix: -5},
+	} {
+		if _, err := NewCascade(panel, coarse, cfg, bad); err == nil {
+			t.Errorf("no error for config %+v", bad)
+		}
+	}
+	if _, err := NewCascade(panel, nil, cfg, CascadeConfig{}); err == nil {
+		t.Error("no error for missing coarse references")
+	}
+	if _, err := NewCascade(nil, coarse, cfg, CascadeConfig{}); err == nil {
+		t.Error("no error for nil panel")
+	}
+	c, err := NewCascade(panel, coarse, cfg, CascadeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Config()
+	want := CascadeConfig{Decimation: DefaultDecimation, TopK: DefaultTopK, CoarsePrefix: DefaultCoarsePrefix, QueryDwell: DefaultQueryDwell}
+	if got != want {
+		t.Errorf("resolved config %+v, want %+v", got, want)
+	}
+}

@@ -89,13 +89,23 @@ func panelResult(per []Result) PanelResult {
 // goroutines — a bounded worker set instead of a goroutine per target,
 // and no goroutine at all for a single-target panel.
 func (p *Panel) runTargets(fn func(ti int)) {
-	if len(p.targets) == 1 {
-		fn(0)
+	// Cap at the target count here, at the use site, so the worker set can
+	// never outgrow the work even if the construction-time sizing changes;
+	// a 1-worker set runs inline — no goroutines or WaitGroup wake-ups on
+	// a single-CPU host.
+	workers := p.workers
+	if workers > len(p.targets) {
+		workers = len(p.targets)
+	}
+	if workers == 1 {
+		for ti := range p.targets {
+			fn(ti)
+		}
 		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < p.workers; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -344,3 +344,35 @@ func TestPanelSessionPrunePolicyValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestRunTargetsWorkerCap is the worker-set sizing regression test: the
+// fan-out never allocates goroutines beyond the target count, so an
+// oversized construction-time worker figure costs exactly what a
+// right-sized one does, and a 1-worker set runs inline with zero
+// allocations.
+func TestRunTargetsWorkerCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(227))
+	cfg := sdtw.DefaultIntConfig()
+	stages := []sdtw.Stage{{PrefixSamples: 400, Threshold: 400 * 3}}
+	targets := []Target{
+		swTarget(t, "A", randomRef(rng, 600), cfg, 1, stages),
+		swTarget(t, "B", randomRef(rng, 600), cfg, 1, stages),
+	}
+	oversized := swPanel(t, targets)
+	oversized.workers = 64 // what a miscomputed construction-time figure would leave
+	sized := swPanel(t, targets)
+	sized.workers = 2
+
+	noop := func(ti int) {}
+	over := testing.AllocsPerRun(50, func() { oversized.runTargets(noop) })
+	right := testing.AllocsPerRun(50, func() { sized.runTargets(noop) })
+	if over != right {
+		t.Errorf("oversized worker set allocates %.0f/run vs %.0f/run right-sized; cap at len(targets) is gone", over, right)
+	}
+
+	inline := swPanel(t, targets)
+	inline.workers = 1
+	if got := testing.AllocsPerRun(50, func() { inline.runTargets(noop) }); got != 0 {
+		t.Errorf("1-worker fan-out allocates %.0f/run, want 0 (inline)", got)
+	}
+}

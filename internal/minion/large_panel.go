@@ -1,0 +1,40 @@
+// Large-panel mode: the read mixture a 1,000-target diagnostic panel
+// actually faces. A specimen never contains all thousand viruses — it
+// holds a handful of present targets inside host background, while the
+// panel's remaining references exist only to be ruled out. The source
+// here builds that sparse mixture so the flow-cell simulator can drive
+// cascade-panel runs at database scale.
+package minion
+
+import (
+	"fmt"
+
+	"squigglefilter/internal/squiggle"
+)
+
+// SparsePanelSource draws the specimen of a sparse large-panel run:
+// with probability viralFraction a read comes from one of the present
+// target pools (chosen uniformly among them), otherwise from the host
+// pool. Targets in the panel but absent from the specimen contribute no
+// reads — their pools simply are not listed here, which is the point:
+// the panel is large, the sample is not.
+func SparsePanelSource(present [][]*squiggle.Read, host []*squiggle.Read, viralFraction float64) (ReadSource, error) {
+	if len(present) == 0 {
+		return nil, fmt.Errorf("minion: sparse panel needs at least one present target pool")
+	}
+	if viralFraction < 0 || viralFraction > 1 {
+		return nil, fmt.Errorf("minion: viral fraction must be in [0, 1], got %g", viralFraction)
+	}
+	pools := make([][]*squiggle.Read, 0, len(present)+1)
+	weights := make([]float64, 0, len(present)+1)
+	for _, p := range present {
+		pools = append(pools, p)
+		weights = append(weights, viralFraction/float64(len(present)))
+	}
+	if viralFraction < 1 {
+		// A pure-viral control run (viralFraction 1) needs no host pool.
+		pools = append(pools, host)
+		weights = append(weights, 1-viralFraction)
+	}
+	return MultiPoolSource(pools, weights)
+}

@@ -1,0 +1,74 @@
+package minion
+
+import (
+	"math/rand"
+	"testing"
+
+	"squigglefilter/internal/genome"
+	"squigglefilter/internal/squiggle"
+)
+
+// stubPool fabricates a pool of reads tagged with a source name; the
+// sparse-source tests only look at ReadPlan.Source, not signal.
+func stubPool(source string, n int) []*squiggle.Read {
+	pool := make([]*squiggle.Read, n)
+	for i := range pool {
+		pool[i] = &squiggle.Read{Source: source, Bases: make(genome.Sequence, 4)}
+	}
+	return pool
+}
+
+// TestSparsePanelSourceMixture: draws land on the present targets with
+// the configured viral fraction split evenly, the rest on host, and
+// absent panel targets contribute nothing (they are simply not pools).
+func TestSparsePanelSourceMixture(t *testing.T) {
+	present := [][]*squiggle.Read{stubPool("virus-03", 5), stubPool("virus-41", 5)}
+	src, err := SparsePanelSource(present, stubPool("host", 10), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	counts := map[string]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[src(rng).Source]++
+	}
+	if got := counts["host"]; got < int(0.76*draws) || got > int(0.84*draws) {
+		t.Errorf("host draws = %d/%d, want ~0.80", got, draws)
+	}
+	for _, v := range []string{"virus-03", "virus-41"} {
+		if got := counts[v]; got < int(0.07*draws) || got > int(0.13*draws) {
+			t.Errorf("%s draws = %d/%d, want ~0.10", v, got, draws)
+		}
+	}
+	if len(counts) != 3 {
+		t.Errorf("drew from %d sources %v, want exactly the 2 present targets + host", len(counts), counts)
+	}
+}
+
+// TestSparsePanelSourceValidation pins the error cases, including that a
+// pure-viral control (fraction 1) needs no host pool.
+func TestSparsePanelSourceValidation(t *testing.T) {
+	pool := stubPool("v", 3)
+	if _, err := SparsePanelSource(nil, pool, 0.5); err == nil {
+		t.Error("no error for zero present pools")
+	}
+	for _, vf := range []float64{-0.1, 1.1} {
+		if _, err := SparsePanelSource([][]*squiggle.Read{pool}, pool, vf); err == nil {
+			t.Errorf("no error for viral fraction %g", vf)
+		}
+	}
+	if _, err := SparsePanelSource([][]*squiggle.Read{pool}, nil, 0.5); err == nil {
+		t.Error("no error for an empty host pool at fraction < 1")
+	}
+	src, err := SparsePanelSource([][]*squiggle.Read{pool}, nil, 1)
+	if err != nil {
+		t.Fatalf("pure-viral control rejected: %v", err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		if got := src(rng).Source; got != "v" {
+			t.Fatalf("pure-viral control drew %q", got)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package sdtw
+
+import "fmt"
+
+// CoarseScorer is the cascade's coarse-tier entry point: one decimated
+// query scored against a whole panel of decimated references with the
+// packed 16-bit kernel. Scoring is single-shot ranking, not streaming —
+// every Score call starts from the boundary row — so one scratch Row16
+// sized to the longest reference serves the entire panel: each call takes
+// a prefix view of it, clears that prefix, and runs ExtendShard16 over a
+// single shard spanning the reference. The scratch reuse is what keeps a
+// 1,000-target coarse pass allocation-free after construction.
+//
+// A CoarseScorer is not safe for concurrent use (the scratch row is shared
+// across Score calls); callers that fan scoring across workers pool one
+// scorer per worker.
+type CoarseScorer struct {
+	refs    [][]int8
+	cfg     IntConfig
+	scratch *Row16
+}
+
+// NewCoarseScorer builds a scorer over the decimated reference panel.
+// Every reference must be non-empty.
+func NewCoarseScorer(refs [][]int8, cfg IntConfig) (*CoarseScorer, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("sdtw: coarse scorer needs at least one reference")
+	}
+	longest := 0
+	for i, r := range refs {
+		if len(r) == 0 {
+			return nil, fmt.Errorf("sdtw: coarse reference %d is empty", i)
+		}
+		if len(r) > longest {
+			longest = len(r)
+		}
+	}
+	return &CoarseScorer{refs: refs, cfg: cfg, scratch: NewRow16(longest)}, nil
+}
+
+// NumRefs returns the panel size.
+func (cs *CoarseScorer) NumRefs() int { return len(cs.refs) }
+
+// RefLen returns the length of decimated reference i.
+func (cs *CoarseScorer) RefLen(i int) int { return len(cs.refs[i]) }
+
+// Score runs a complete single-shot subsequence alignment of query against
+// reference i and returns the best end cost — identical to
+// IntDP16(query, refs[i], cfg) but reusing the scratch row.
+func (cs *CoarseScorer) Score(query []int8, i int) IntResult {
+	ref := cs.refs[i]
+	m := len(ref)
+	view := Row16{Cost: cs.scratch.Cost[:m], Run: cs.scratch.Run[:m]}
+	clear(view.Cost)
+	clear(view.Run)
+	return ExtendShard16(&view, query, ref, cs.cfg, nil, nil)
+}

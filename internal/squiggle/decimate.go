@@ -1,0 +1,76 @@
+package squiggle
+
+// Decimation for the cascade's coarse tier: reducing a squiggle's sample
+// rate by an integer factor with mean pooling. The mean over each window is
+// a box low-pass filter applied jointly with the subsampling, so the
+// decimated trace keeps the slow per-base level structure sDTW aligns on
+// while folding measurement noise down by ~sqrt(factor) — the cheap
+// anti-aliasing that makes a 1/d-rate reference still rankable. Both the
+// reference side (float, normalized levels) and the query side (raw int16
+// ADC codes) decimate with the same window math, so their dwell ratio —
+// what the no-deletion recurrence's run counter absorbs — is preserved.
+
+// Decimate mean-pools x by factor: output sample i is the mean of the
+// window x[i*factor : (i+1)*factor]. The final partial window is averaged
+// over its own length, never dropped, so len(out) = ceil(len(x)/factor)
+// and every input sample contributes to exactly one output sample. A
+// factor of 1 or less returns a copy.
+func Decimate(x []float64, factor int) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	if factor <= 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]float64, (len(x)+factor-1)/factor)
+	for i := range out {
+		lo := i * factor
+		hi := lo + factor
+		if hi > len(x) {
+			hi = len(x)
+		}
+		var sum float64
+		for _, v := range x[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// DecimateInt16 is Decimate for raw ADC codes: the same windowing with the
+// window mean rounded half away from zero, so decimated codes stay in the
+// ADC's integer domain and feed the standard integer normalizer unchanged.
+func DecimateInt16(x []int16, factor int) []int16 {
+	if len(x) == 0 {
+		return nil
+	}
+	if factor <= 1 {
+		out := make([]int16, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]int16, (len(x)+factor-1)/factor)
+	for i := range out {
+		lo := i * factor
+		hi := lo + factor
+		if hi > len(x) {
+			hi = len(x)
+		}
+		var sum int64
+		for _, v := range x[lo:hi] {
+			sum += int64(v)
+		}
+		w := int64(hi - lo)
+		var mean int64
+		if sum >= 0 {
+			mean = (sum + w/2) / w
+		} else {
+			mean = (sum - w/2) / w
+		}
+		out[i] = int16(mean)
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package squiggle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDecimateLength pins the output-length math: ceil(n/factor), with the
+// tail window averaged rather than dropped.
+func TestDecimateLength(t *testing.T) {
+	cases := []struct {
+		n, factor, want int
+	}{
+		{0, 8, 0},
+		{1, 8, 1},
+		{7, 8, 1},
+		{8, 8, 1},
+		{9, 8, 2},
+		{16, 8, 2},
+		{17, 8, 3},
+		{100, 1, 100},
+		{100, 3, 34},
+		{5, 16, 1},
+	}
+	for _, c := range cases {
+		x := make([]float64, c.n)
+		if got := len(Decimate(x, c.factor)); got != c.want {
+			t.Errorf("len(Decimate(len %d, factor %d)) = %d, want %d", c.n, c.factor, got, c.want)
+		}
+		xi := make([]int16, c.n)
+		if got := len(DecimateInt16(xi, c.factor)); got != c.want {
+			t.Errorf("len(DecimateInt16(len %d, factor %d)) = %d, want %d", c.n, c.factor, got, c.want)
+		}
+	}
+}
+
+// TestDecimateWindowMeans checks the window means directly, including the
+// partial tail window averaged over its own length.
+func TestDecimateWindowMeans(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7} // factor 3: [1,2,3] [4,5,6] [7]
+	got := Decimate(x, 3)
+	want := []float64{2, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Decimate[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+
+	xi := []int16{10, 11, 13, -10, -11} // factor 3: mean 34/3 -> 11, -21/2 -> -11 (half away from zero)
+	goti := DecimateInt16(xi, 3)
+	wanti := []int16{11, -11}
+	if len(goti) != len(wanti) {
+		t.Fatalf("int16 len = %d, want %d", len(goti), len(wanti))
+	}
+	for i := range wanti {
+		if goti[i] != wanti[i] {
+			t.Errorf("DecimateInt16[%d] = %d, want %d", i, goti[i], wanti[i])
+		}
+	}
+}
+
+// TestDecimateFactorOneCopies: factor <= 1 is an identity copy that does
+// not alias the input.
+func TestDecimateFactorOneCopies(t *testing.T) {
+	x := []float64{1, 2, 3}
+	got := Decimate(x, 1)
+	got[0] = 99
+	if x[0] != 1 {
+		t.Fatal("Decimate(x, 1) aliases its input")
+	}
+	xi := []int16{4, 5, 6}
+	goti := DecimateInt16(xi, 0)
+	goti[0] = 99
+	if xi[0] != 4 {
+		t.Fatal("DecimateInt16(x, 0) aliases its input")
+	}
+}
+
+// TestDecimateComposes: for exact window multiples,
+// Decimate(Decimate(x, a), b) == Decimate(x, a*b). Means of means over
+// equal-sized sub-windows equal the mean of the full window; float64
+// association differs between the two orders, so compare with a small
+// tolerance rather than bit-exactly.
+func TestDecimateComposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range []struct{ n, a, b int }{
+		{240, 2, 4},
+		{240, 4, 4},
+		{96, 3, 2},
+		{4096, 8, 2},
+	} {
+		if c.n%(c.a*c.b) != 0 {
+			t.Fatalf("bad case: %d not a multiple of %d", c.n, c.a*c.b)
+		}
+		x := make([]float64, c.n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 50
+		}
+		two := Decimate(Decimate(x, c.a), c.b)
+		one := Decimate(x, c.a*c.b)
+		if len(two) != len(one) {
+			t.Fatalf("n=%d a=%d b=%d: len %d vs %d", c.n, c.a, c.b, len(two), len(one))
+		}
+		for i := range one {
+			if math.Abs(two[i]-one[i]) > 1e-9 {
+				t.Errorf("n=%d a=%d b=%d: [%d] %g vs %g", c.n, c.a, c.b, i, two[i], one[i])
+			}
+		}
+	}
+}
+
+// TestDecimateInt16ComposesOnConstants: the integer decimator composes
+// exactly when windows are constant (no rounding ambiguity), covering the
+// same window bookkeeping as the float test without chasing rounding
+// artifacts.
+func TestDecimateInt16ComposesOnConstants(t *testing.T) {
+	x := make([]int16, 128)
+	for i := range x {
+		x[i] = int16(100 + 10*(i/16)) // constant over every 16-sample window
+	}
+	two := DecimateInt16(DecimateInt16(x, 4), 4)
+	one := DecimateInt16(x, 16)
+	if len(two) != len(one) {
+		t.Fatalf("len %d vs %d", len(two), len(one))
+	}
+	for i := range one {
+		if two[i] != one[i] {
+			t.Errorf("[%d] %d vs %d", i, two[i], one[i])
+		}
+	}
+}

@@ -19,21 +19,34 @@ type Panel struct {
 	names []string
 }
 
-// NewPanel programs one detector per config and assembles them into a
-// panel.
-func NewPanel(cfgs []DetectorConfig) (*Panel, error) {
+// buildTargets programs one detector per config and returns the engine
+// targets, the target names, and the detectors themselves (the cascade
+// needs their reference squiggles to build the coarse tier).
+func buildTargets(cfgs []DetectorConfig) ([]engine.Target, []string, []*Detector, error) {
 	if len(cfgs) == 0 {
-		return nil, fmt.Errorf("squigglefilter: panel needs at least one target")
+		return nil, nil, nil, fmt.Errorf("squigglefilter: panel needs at least one target")
 	}
 	targets := make([]engine.Target, len(cfgs))
 	names := make([]string, len(cfgs))
+	dets := make([]*Detector, len(cfgs))
 	for i, cfg := range cfgs {
 		det, err := NewDetector(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("squigglefilter: panel target %d (%q): %w", i, cfg.Name, err)
+			return nil, nil, nil, fmt.Errorf("squigglefilter: panel target %d (%q): %w", i, cfg.Name, err)
 		}
 		targets[i] = engine.Target{Name: cfg.Name, Pipeline: det.swPipe}
 		names[i] = cfg.Name
+		dets[i] = det
+	}
+	return targets, names, dets, nil
+}
+
+// NewPanel programs one detector per config and assembles them into a
+// panel.
+func NewPanel(cfgs []DetectorConfig) (*Panel, error) {
+	targets, names, _, err := buildTargets(cfgs)
+	if err != nil {
+		return nil, err
 	}
 	panel, err := engine.NewPanel(targets)
 	if err != nil {
