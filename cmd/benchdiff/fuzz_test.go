@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzBenchdiffParse pins that the ratchet's parser never panics on a
+// malformed `go test -json` stream or benchmark text — CI logs interleave
+// benchmark lines with build noise, truncated JSON, and partial writes,
+// and a parser crash would take the speed ratchet down with it. Any parse
+// result is acceptable; only panics and scanner misuse are bugs.
+func FuzzBenchdiffParse(f *testing.F) {
+	f.Add(`BenchmarkExtendShard/width=4096-2  1  271271183 ns/op  4.41e+08 cells/sec`)
+	f.Add(`{"Action":"output","Output":"BenchmarkRowReset-8  100  5 ns/op\n"}`)
+	f.Add(`{"Action":"output","Output":`)
+	f.Add(`{"Action":12}`)
+	f.Add("Benchmark  notanint  1 ns/op")
+	f.Add("BenchmarkHalfPair 1 2.5")
+	f.Add("{\n}\nBenchmarkX 1 1 ns/op 2 cells/sec\n\x00\xff")
+	f.Fuzz(func(t *testing.T, input string) {
+		table, err := parseBench(strings.NewReader(input))
+		if err != nil {
+			return // scanner errors (oversize lines) are a legal outcome
+		}
+		for name, metrics := range table {
+			if name == "" {
+				t.Fatalf("parser admitted an empty benchmark name: %v", metrics)
+			}
+			if len(metrics) == 0 {
+				t.Fatalf("parser admitted %q with no metrics", name)
+			}
+		}
+	})
+}

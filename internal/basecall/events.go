@@ -103,6 +103,7 @@ func Segment(samples []int16, cfg SegmentConfig) []Event {
 	boundaries := []int{0}
 	last := 0
 	for i := w; i < n-w; i++ {
+		//lint:allow floatcost event-segmentation t-statistic threshold, not a DP cost; the t-test is float math by nature
 		if score[i] <= threshold {
 			continue
 		}

@@ -158,6 +158,7 @@ func New(instances int) *Scheduler {
 	for i := range free {
 		free[i] = i
 	}
+	//lint:allow walltime Scheduler is the wall-clock dispatcher by design; its epoch anchors Now() and the deterministic twin is Virtual (virtual.go)
 	return &Scheduler{epoch: time.Now(), free: free, n: instances}
 }
 
@@ -166,6 +167,8 @@ func (s *Scheduler) Instances() int { return s.n }
 
 // Now returns the scheduler clock: wall time since New. Deadlines are
 // expressed on this clock.
+//
+//lint:allow walltime the one sanctioned wall-clock read: every deadline and stat derives from this accessor, and Virtual overrides it with event time
 func (s *Scheduler) Now() time.Duration { return time.Since(s.epoch) }
 
 // Acquire queues the task and blocks until the EDF queue grants it an

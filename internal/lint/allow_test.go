@@ -1,0 +1,108 @@
+package lint
+
+// Unit tests for the //lint:allow parser edge cases that cannot be
+// expressed as fixture want-comments (a want marker appended to a
+// malformed allow would itself read as the justification).
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSrc type-checks one source string as a single-file package and
+// runs the full suite over it.
+func checkSrc(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunPackage(fset, []*ast.File{f}, pkg, info, Analyzers())
+}
+
+func messages(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Analyzer+": "+d.Message)
+	}
+	return out
+}
+
+func wantOne(t *testing.T, diags []Diagnostic, substrs ...string) {
+	t.Helper()
+	if len(diags) != len(substrs) {
+		t.Fatalf("got %d diagnostics %q, want %d", len(diags), messages(diags), len(substrs))
+	}
+	for i, sub := range substrs {
+		if !strings.Contains(diags[i].Message, sub) {
+			t.Errorf("diagnostic %d = %q, want it to mention %q", i, diags[i].Message, sub)
+		}
+	}
+}
+
+const walltimeViolation = `package minion
+
+import "time"
+
+func now() time.Time {
+	%s
+	return time.Now()
+}
+`
+
+func TestAllowSuppressesDiagnostic(t *testing.T) {
+	src := strings.Replace(walltimeViolation, "%s", "//lint:allow walltime justified: unit-test epoch", 1)
+	wantOne(t, checkSrc(t, src)) // zero diagnostics
+}
+
+func TestAllowWithoutJustificationIsRejected(t *testing.T) {
+	src := strings.Replace(walltimeViolation, "%s", "//lint:allow walltime", 1)
+	// The malformed allow does not suppress, so both it and the original
+	// diagnostic surface (sorted by position: the comment comes first).
+	wantOne(t, checkSrc(t, src), "needs a justification", "time.Now")
+}
+
+func TestAllowUnknownAnalyzerIsRejected(t *testing.T) {
+	src := strings.Replace(walltimeViolation, "%s", "//lint:allow nosuchcheck because reasons", 1)
+	wantOne(t, checkSrc(t, src), "unknown analyzer", "time.Now")
+}
+
+func TestAllowMissingAnalyzerNameIsRejected(t *testing.T) {
+	src := strings.Replace(walltimeViolation, "%s", "//lint:allow", 1)
+	wantOne(t, checkSrc(t, src), "missing analyzer name", "time.Now")
+}
+
+func TestStaleAllowIsReported(t *testing.T) {
+	src := `package minion
+
+func pure() int {
+	//lint:allow walltime this line stopped violating long ago
+	return 0
+}
+`
+	wantOne(t, checkSrc(t, src), "stale //lint:allow walltime")
+}
+
+func TestAllowOnlyCoversNamedAnalyzer(t *testing.T) {
+	// A schedhold allow must not suppress a walltime diagnostic — and is
+	// itself stale, since no schedhold diagnostic exists on the line.
+	src := strings.Replace(walltimeViolation, "%s", "//lint:allow schedhold wrong analyzer named", 1)
+	wantOne(t, checkSrc(t, src), "stale //lint:allow schedhold", "time.Now")
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatCost keeps DP cost and threshold ranking exact. Costs are int32
+// cell values and thresholds integer cutoffs; every comparison the engine
+// makes with them (stage accept/reject, bestTarget panel ranking, cascade
+// top-k) is exact integer math — PR 3's bestTarget fix replaced a float64
+// cost-per-sample quotient with integer cross-multiplication precisely
+// because the quotient rounds away sub-1e-16 differences and made
+// cross-schedule ranking nondeterministic. This analyzer is that fix as a
+// static property: it flags float64/float32 conversions of cost- or
+// threshold-named integer values, and float division/comparison on
+// cost-named float operands, outside the diagnostics allowlist.
+//
+// Allowlisted: packages metrics and experiments (summaries, report
+// tables) and package main (binaries format costs for humans); _test.go
+// files are skipped. Anything else — calibration helpers included — takes
+// an audited //lint:allow floatcost with its justification.
+var FloatCost = &Analyzer{
+	Name: "floatcost",
+	Doc: "flag float64 conversion, division, or comparison of DP cost/threshold values; " +
+		"verdict-relevant ranking must stay exact integer math (the PR 3 bestTarget rule)",
+	Run: runFloatCost,
+}
+
+// floatCostAllowedPkgs are package names whose whole job is diagnostics:
+// converting a cost into a float there cannot influence a verdict.
+var floatCostAllowedPkgs = map[string]bool{
+	"metrics":     true,
+	"experiments": true,
+	"main":        true,
+}
+
+func runFloatCost(pass *Pass) {
+	if floatCostAllowedPkgs[pass.Pkg.Name()] {
+		return
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !isFloatConversion(pass, n) || len(n.Args) != 1 {
+					return true
+				}
+				arg := n.Args[0]
+				if !isIntegerExpr(pass, arg) {
+					return true
+				}
+				if name, ok := costishName(arg); ok {
+					pass.Reportf(n.Pos(), "float conversion of DP cost/threshold value %q; rank costs with exact integer math (cross-multiply instead of dividing — the PR 3 bestTarget rule)", name)
+				}
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.QUO, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				default:
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					side = unparen(side)
+					if !isFloatExpr(pass, side) {
+						continue
+					}
+					if name, ok := costishName(side); ok {
+						pass.Reportf(n.Pos(), "float %s on DP cost/threshold value %q; rank costs with exact integer math", n.Op, name)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// costishName reports the cost- or threshold-ish identifier the
+// expression bottoms out in, if any: a plain identifier or a selector
+// whose field name mentions cost/threshold (Cost, bestCost, threshold,
+// Thresholds, ...).
+func costishName(e ast.Expr) (string, bool) {
+	var name string
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	case *ast.CallExpr:
+		// A call like r.CostAt(...).Cost reaches here as SelectorExpr;
+		// a bare call f() names its callee.
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			name = sel.Sel.Name
+		} else if id, ok := e.Fun.(*ast.Ident); ok {
+			name = id.Name
+		}
+	case *ast.IndexExpr:
+		return costishName(e.X)
+	default:
+		return "", false
+	}
+	lower := strings.ToLower(name)
+	if strings.Contains(lower, "cost") || strings.Contains(lower, "threshold") {
+		return name, true
+	}
+	return "", false
+}
+
+func isFloatConversion(pass *Pass, call *ast.CallExpr) bool {
+	return isConversionTo(pass, call, types.Float64) || isConversionTo(pass, call, types.Float32)
+}
+
+func isIntegerExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

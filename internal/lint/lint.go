@@ -1,0 +1,275 @@
+// Package lint is sflint's analysis engine: four custom analyzers that
+// turn the repo's load-bearing dynamic invariants into compile-time
+// properties, plus the driver plumbing (//lint:allow escape hatch, stale
+// allow auditing) shared by cmd/sflint and the fixture tests.
+//
+// Each analyzer exists because a specific bug class already happened (or
+// was narrowly designed around) in this repo and is only probabilistically
+// caught by tests:
+//
+//   - schedhold: nothing may block between sched.Acquire and its paired
+//     Release — the deadlock invariant the EDF scheduler (PR 5) rests on,
+//     which TestSchedulerMixedLoadOneInstance can only catch if the race
+//     happens to fire.
+//   - sat16: the 16-bit kernel computes in int32 and clamps on store
+//     (sat16 / the sat16Max//sat16Min pair); raw int16 arithmetic or an
+//     unclamped narrowing silently voids the Sat16Ceiling confinement
+//     proof (PR 6).
+//   - floatcost: DP costs and thresholds rank by exact integer math;
+//     round-tripping them through float64 reintroduces the bestTarget
+//     tie-break nondeterminism PR 3 fixed.
+//   - walltime: the flow-cell simulator, the virtual-time twin, and the
+//     read-until model replay deterministically only if they never read
+//     the wall clock or an unseeded RNG.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer/Pass/Diagnostic) but is built on the standard library alone,
+// so the module keeps its zero-dependency property.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check. Run inspects a type-checked package
+// via its Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow comments.
+	Name string
+	// Doc is the one-paragraph description shown by `sflint help`.
+	Doc string
+	// Run performs the analysis.
+	Run func(*Pass)
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, attributed to the analyzer that made it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Analyzers returns the full sflint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{SchedHold, Sat16, FloatCost, WallTime}
+}
+
+// AllowPrefix introduces an audited suppression: a comment of the form
+//
+//	//lint:allow <analyzer> <why it is safe here>
+//
+// on a diagnostic's line (or on the line directly above it) suppresses
+// that analyzer's diagnostics on the line. The justification is
+// mandatory, and an allow that no longer suppresses anything is itself
+// reported — the same auditability rule as the bench-ratchet-override
+// label: every escape hatch names its reason and rots loudly.
+const AllowPrefix = "//lint:allow"
+
+// allow is one parsed //lint:allow comment.
+type allow struct {
+	pos      token.Pos
+	line     int // source line the allow applies to (its own line, or the one below for a lone comment line)
+	file     string
+	analyzer string
+	used     bool
+}
+
+// RunPackage runs the given analyzers over one type-checked package,
+// applies the //lint:allow escape hatch, and returns the surviving
+// diagnostics (including stale-allow and malformed-allow findings)
+// sorted by position.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			diags:     &diags,
+		}
+		a.Run(pass)
+	}
+	diags = applyAllows(fset, files, analyzers, diags)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+// applyAllows suppresses diagnostics covered by well-formed //lint:allow
+// comments and reports malformed or stale ones.
+func applyAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var allows []*allow
+	var extra []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, AllowPrefix)
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				switch {
+				case len(fields) == 0:
+					extra = append(extra, Diagnostic{c.Pos(), "lintallow", "malformed " + AllowPrefix + ": missing analyzer name"})
+					continue
+				case !known[fields[0]]:
+					extra = append(extra, Diagnostic{c.Pos(), "lintallow", fmt.Sprintf("%s names unknown analyzer %q", AllowPrefix, fields[0])})
+					continue
+				case len(fields) < 2:
+					extra = append(extra, Diagnostic{c.Pos(), "lintallow", fmt.Sprintf("%s %s needs a justification (the escape hatch is audited)", AllowPrefix, fields[0])})
+					continue
+				}
+				line := pos.Line
+				if onOwnLine(fset, f, c) {
+					line++ // a lone comment line covers the line below it
+				}
+				allows = append(allows, &allow{pos: c.Pos(), line: line, file: pos.Filename, analyzer: fields[0]})
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		suppressed := false
+		for _, al := range allows {
+			if al.analyzer == d.Analyzer && al.file == p.Filename && al.line == p.Line {
+				al.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, al := range allows {
+		if !al.used {
+			out = append(out, Diagnostic{al.pos, "lintallow", fmt.Sprintf("stale %s %s: no %s diagnostic on this line — remove the comment", AllowPrefix, al.analyzer, al.analyzer)})
+		}
+	}
+	return append(out, extra...)
+}
+
+// onOwnLine reports whether comment c is alone on its source line (no
+// code before it), in which case the allow covers the next line.
+func onOwnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cp := fset.Position(c.Pos())
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || found {
+			return false
+		}
+		// Any non-comment node ending on the comment's line before the
+		// comment means it trails code.
+		if end := fset.Position(n.End()); end.Line == cp.Line && end.Column <= cp.Column {
+			if _, ok := n.(*ast.File); !ok {
+				found = true
+			}
+		}
+		return true
+	})
+	return !found
+}
+
+// isTestFile reports whether the file the node belongs to is a _test.go
+// file; the suite's invariants are about production code, and tests
+// legitimately sleep, block, and print float costs.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// funcBodies yields every function body in f — declarations and literals
+// — calling fn with each. Literals are visited as independent functions:
+// the schedhold region analysis treats each goroutine body on its own.
+func funcBodies(f *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		case *ast.FuncLit:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		}
+		return true
+	})
+}
+
+// methodOn reports whether the call resolves to a method named name on a
+// (pointer to a) named type typeName defined in a package named pkgName.
+// Matching by package *name* rather than import path keeps the analyzers
+// testable against fixture packages while staying conservative: a
+// lookalike type in a lookalike package is held to the same rules.
+func methodOn(info *types.Info, call *ast.CallExpr, pkgName, typeName, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// pkgFunc reports whether the call resolves to the package-level function
+// pkgPath.name (matched by import path, e.g. "time".Sleep).
+func pkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

@@ -1,0 +1,126 @@
+package lint
+
+// The fixture runner: an analysistest-style golden harness on the
+// stdlib-only loader. Fixture packages live under testdata/src/<case>/
+// in a GOPATH-ish layout; expectations are `// want `+"`regex`"+`
+// comments on the line a diagnostic lands on. Every want must match a
+// diagnostic on its line and every diagnostic must match a want — both
+// leftovers fail the test, so the fixtures pin flagged AND allowed cases.
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// want is one expectation: a regexp that must match a diagnostic's
+// message on a specific line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("// want((?: +`[^`]*`)+)")
+var wantArgRE = regexp.MustCompile("`([^`]*)`")
+
+// runFixture loads testdata/src/<path>, runs the full suite (with the
+// allow machinery) over it, and checks the diagnostics against the
+// fixture's want comments.
+func runFixture(t *testing.T, path string) {
+	t.Helper()
+	loader := NewLoader(filepath.Join("testdata", "src"))
+	pkg, err := loader.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, arg[1], err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	diags := RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, Analyzers())
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestSchedHoldFixture(t *testing.T) { runFixture(t, "schedhold/a") }
+func TestSat16Fixture(t *testing.T)     { runFixture(t, "sat16/sdtw") }
+func TestFloatCostFixture(t *testing.T) { runFixture(t, "floatcost/engine") }
+func TestFloatCostAllowlistedPackage(t *testing.T) {
+	runFixture(t, "floatcost/metrics") // allowlisted: zero wants, zero diagnostics
+}
+func TestWallTimeFixture(t *testing.T) { runFixture(t, "walltime/minion") }
+func TestWallTimeOutOfScopePackage(t *testing.T) {
+	runFixture(t, "walltime/other") // out of scope: zero wants, zero diagnostics
+}
+func TestAllowEscapeHatchFixture(t *testing.T) { runFixture(t, "allow/readuntil") }
+
+// TestFixtureSchedDoubleIsClean pins that the fixture scheduler package
+// itself (which declares but never misuses Acquire/Release) is clean.
+func TestFixtureSchedDoubleIsClean(t *testing.T) { runFixture(t, "schedhold/sched") }
+
+// hasWantComments guards against the runner silently matching nothing:
+// the flagged fixtures must actually carry expectations.
+func TestFixturesCarryWants(t *testing.T) {
+	for _, path := range []string{"schedhold/a", "sat16/sdtw", "floatcost/engine", "walltime/minion", "allow/readuntil"} {
+		loader := NewLoader(filepath.Join("testdata", "src"))
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasWantComments(pkg.Fset, pkg.Files) {
+			t.Errorf("fixture %s has no want comments; the golden test would vacuously pass", path)
+		}
+	}
+}
+
+func hasWantComments(fset *token.FileSet, files []*ast.File) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "// want") || wantRE.MatchString(c.Text) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SchedHold enforces the scheduler's hold invariant: a task that has
+// acquired a back-end instance through sched.Acquire is pure DP compute
+// until the paired Release — it must not block. Blocking while holding is
+// exactly the hazard that deadlocks a small pool under mixed sharded +
+// unsharded + panel load; the race-gated TestSchedulerMixedLoadOneInstance
+// can only catch it when the interleaving cooperates, so the invariant is
+// enforced lexically here.
+//
+// Between an Acquire call and its paired Release (or to the end of the
+// function when the Release is deferred) the analyzer flags:
+//
+//   - channel sends, receives, range-over-channel, and select statements
+//     (ctx-aware or not — a cancellable wait still wedges the pool until
+//     the context fires);
+//   - blocking sync calls: WaitGroup.Wait, Mutex/RWMutex Lock and RLock,
+//     Cond.Wait, Once.Do;
+//   - nested sched.Acquire calls (the classic self-deadlock on a
+//     1-instance pool);
+//   - time.Sleep.
+//
+// Function literals launched with `go` or run via `defer` are exempt: a
+// fresh goroutine does not hold the caller's instance, and a deferred
+// body runs after the (deferred) Release. The analysis is per function
+// body and lexical — it cannot see through calls into other functions —
+// which matches how the pipeline is written: every hold region is a
+// handful of statements around one kernel extension.
+var SchedHold = &Analyzer{
+	Name: "schedhold",
+	Doc: "flag blocking operations between sched.Acquire and its paired Release; " +
+		"tasks must never block while holding a back-end instance (the pool deadlock invariant)",
+	Run: runSchedHold,
+}
+
+// syncBlocking lists the sync methods that can block the holder.
+var syncBlocking = []struct{ typ, method string }{
+	{"WaitGroup", "Wait"},
+	{"Mutex", "Lock"},
+	{"RWMutex", "Lock"},
+	{"RWMutex", "RLock"},
+	{"Cond", "Wait"},
+	{"Once", "Do"},
+}
+
+func runSchedHold(pass *Pass) {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		funcBodies(f, func(body *ast.BlockStmt) {
+			checkHoldRegions(pass, body)
+		})
+	}
+}
+
+// checkHoldRegions finds every Acquire in one function body, derives the
+// lexical hold region, and flags blocking constructs inside it.
+func checkHoldRegions(pass *Pass, body *ast.BlockStmt) {
+	type relEvent struct {
+		pos      token.Pos
+		deferred bool
+	}
+	var acquires []*ast.CallExpr
+	var releases []relEvent
+
+	// Collect Acquire/Release events in this body only — nested function
+	// literals are their own bodies and are skipped here.
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false // analyzed as its own body
+			case *ast.DeferStmt:
+				walk(m.Call, true)
+				return false
+			case *ast.CallExpr:
+				if methodOn(pass.TypesInfo, m, "sched", "Scheduler", "Acquire") {
+					acquires = append(acquires, m)
+				}
+				if methodOn(pass.TypesInfo, m, "sched", "Scheduler", "Release") {
+					releases = append(releases, relEvent{m.Pos(), inDefer})
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	for _, acq := range acquires {
+		// The region runs from the Acquire to the first non-deferred
+		// Release after it; a deferred Release extends it to the end of
+		// the function body.
+		end := body.End()
+		for _, rel := range releases {
+			if !rel.deferred && rel.pos > acq.End() && rel.pos < end {
+				end = rel.pos
+			}
+		}
+		flagBlockingIn(pass, body, acq.End(), end)
+	}
+}
+
+// flagBlockingIn reports every blocking construct lexically positioned in
+// (from, to) within body, skipping goroutine and defer bodies.
+func flagBlockingIn(pass *Pass, body *ast.BlockStmt, from, to token.Pos) {
+	in := func(n ast.Node) bool { return n.Pos() > from && n.Pos() < to }
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // a new goroutine does not hold this instance
+		case *ast.DeferStmt:
+			return false // runs after the deferred Release
+		case *ast.SendStmt:
+			if in(n) {
+				pass.Reportf(n.Pos(), "channel send while holding a scheduler instance; Release first (hold regions must be pure DP compute)")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && in(n) {
+				pass.Reportf(n.Pos(), "channel receive while holding a scheduler instance; Release first (hold regions must be pure DP compute)")
+			}
+		case *ast.SelectStmt:
+			if in(n) {
+				pass.Reportf(n.Pos(), "select while holding a scheduler instance; even a ctx-aware wait wedges the pool until cancellation")
+			}
+			return false // cases are covered by the select diagnostic
+		case *ast.RangeStmt:
+			if in(n.X) && isChanType(pass, n.X) {
+				pass.Reportf(n.Pos(), "range over a channel while holding a scheduler instance; Release first")
+			}
+		case *ast.CallExpr:
+			if !in(n) {
+				return true
+			}
+			if methodOn(pass.TypesInfo, n, "sched", "Scheduler", "Acquire") {
+				pass.Reportf(n.Pos(), "nested sched.Acquire while already holding an instance; self-deadlocks a 1-instance pool")
+			}
+			for _, sb := range syncBlocking {
+				if methodOn(pass.TypesInfo, n, "sync", sb.typ, sb.method) {
+					pass.Reportf(n.Pos(), "sync.%s.%s while holding a scheduler instance; Release first (hold regions must be pure DP compute)", sb.typ, sb.method)
+				}
+			}
+			if pkgFunc(pass.TypesInfo, n, "time", "Sleep") {
+				pass.Reportf(n.Pos(), "time.Sleep while holding a scheduler instance; Release first")
+			}
+		}
+		return true
+	})
+}
+
+// isChanType reports whether expr's static type is a channel.
+func isChanType(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

@@ -1,0 +1,26 @@
+// Package readuntil exercises the //lint:allow escape hatch end to end
+// in a walltime-scoped package: a justified allow suppresses its
+// diagnostic, and an allow with nothing left to suppress is itself
+// reported — escape hatches rot loudly.
+package readuntil
+
+import "time"
+
+// allowedLine: the diagnostic on the line below the lone comment is
+// suppressed.
+func allowedLine() time.Time {
+	//lint:allow walltime fixture justification: the golden test pins that this line passes
+	return time.Now()
+}
+
+// trailingAllow: a trailing comment covers its own line.
+func trailingAllow() time.Time {
+	return time.Now() //lint:allow walltime fixture justification: trailing form
+}
+
+// staleAllow: no walltime diagnostic on the covered line any more, so
+// the allow itself is reported at the comment's position.
+func staleAllow() int {
+	//lint:allow walltime nothing left to suppress here // want `stale //lint:allow walltime`
+	return 0
+}

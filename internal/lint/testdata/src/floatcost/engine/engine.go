@@ -1,0 +1,41 @@
+// Package engine exercises floatcost with the exact shape of the PR 3
+// bestTarget bug (float cost-per-sample ranking) next to the exact
+// integer cross-multiplication that fixed it.
+package engine
+
+type result struct {
+	Cost        int32
+	SamplesUsed int
+}
+
+// lessRateFloat is the reverted PR 3 bug: the float64 quotient rounds
+// away sub-1e-16 relative differences and makes ranking nondeterministic
+// across stage schedules.
+func lessRateFloat(a, b result) bool {
+	x := float64(a.Cost) / float64(a.SamplesUsed) // want `float conversion of DP cost/threshold value "Cost"`
+	y := float64(b.Cost) / float64(b.SamplesUsed) // want `float conversion of DP cost/threshold value "Cost"`
+	return x < y
+}
+
+// lessRateExact is the fix: integer cross-multiplication, exact.
+func lessRateExact(a, b result) bool {
+	return int64(a.Cost)*int64(b.SamplesUsed) < int64(b.Cost)*int64(a.SamplesUsed)
+}
+
+// floatThresholdCompare flags float comparisons on threshold-named
+// float operands too: a float threshold is how an exact cutoff drifts.
+func floatThresholdCompare(threshold float64, samples int) bool {
+	return threshold < float64(samples) // want `float < on DP cost/threshold value "threshold"`
+}
+
+// countsAreFine: floats of non-cost integers are not the analyzer's
+// business (cell counts, bandwidths, utilizations).
+func countsAreFine(cells int, samples int) float64 {
+	return float64(cells) / float64(samples)
+}
+
+// allowedConversion carries the audited escape hatch.
+func allowedConversion(c result) float64 {
+	//lint:allow floatcost fixture: diagnostics-only conversion, justified for the golden test
+	return float64(c.Cost)
+}

@@ -1,0 +1,12 @@
+// Package metrics is on floatcost's diagnostics allowlist: summarizing
+// costs as floats is its whole job, so nothing here is flagged.
+package metrics
+
+// MeanCost converts costs freely; the allowlist covers this package.
+func MeanCost(costs []int32) float64 {
+	var sum float64
+	for _, c := range costs {
+		sum += float64(c)
+	}
+	return sum / float64(len(costs))
+}

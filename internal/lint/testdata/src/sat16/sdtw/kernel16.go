@@ -1,0 +1,64 @@
+// Package sdtw is a fixture double of internal/sdtw's 16-bit kernel
+// files: sat16 scopes itself to files whose basename contains "16" in a
+// package named sdtw, so this file is in scope and other.go is not.
+package sdtw
+
+const (
+	sat16Max = 32767
+	sat16Min = -32768
+)
+
+func sat16(v int32) int32 {
+	if v > sat16Max {
+		v = sat16Max
+	}
+	if v < sat16Min {
+		v = sat16Min
+	}
+	return v
+}
+
+// stores covers every legal narrowing route and the illegal ones.
+func stores(cost []int16, v int32) {
+	cost[0] = int16(sat16(v)) // ok: direct clamp-on-store
+
+	w := sat16(v)
+	cost[1] = int16(w) // ok: narrowed ident was assigned from sat16
+
+	nc := v + 1
+	if nc > sat16Max {
+		nc = sat16Max
+	}
+	if nc < sat16Min {
+		nc = sat16Min
+	}
+	cost[2] = int16(nc) // ok: the register-resident inline clamp pair
+
+	cost[3] = int16(v) // want `unclamped narrowing to int16`
+
+	u := v * 2
+	if u > sat16Max {
+		u = sat16Max
+	}
+	cost[4] = int16(u) // want `unclamped narrowing to int16`
+
+	cost[5] = int16(7) // ok: constant conversions are compiler-checked
+}
+
+// rawArith covers the forbidden 16-bit compute forms.
+func rawArith(cost []int16) int16 {
+	x := cost[0] + cost[1] // want `raw int16 arithmetic`
+	cost[2] += 1           // want `raw int16 op-assignment`
+	cost[3]++              // want `raw int16 increment`
+	return x
+}
+
+// widen is the sanctioned compute path: loads widen to int32 registers.
+func widen(cost []int16) int32 {
+	return int32(cost[0]) + int32(cost[1])
+}
+
+// compare is allowed: comparisons do not wrap.
+func compare(cost []int16) bool {
+	return cost[0] < cost[1]
+}

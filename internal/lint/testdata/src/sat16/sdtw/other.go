@@ -1,0 +1,5 @@
+package sdtw
+
+// Raw is out of sat16's scope: this basename has no "16", so the file is
+// not one of the packed-kernel files the confinement invariant covers.
+func Raw(a, b int16) int16 { return a + b }

@@ -1,0 +1,115 @@
+// Package a exercises schedhold: every way of blocking between a
+// sched.Acquire and its paired Release, plus the shapes that must stay
+// clean (release-then-block, goroutine hand-off, pure compute).
+package a
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"schedhold/sched"
+)
+
+func compute() {}
+
+func blockingRecv(s *sched.Scheduler, ch chan int) {
+	idx, _ := s.Acquire(context.Background(), sched.Task{})
+	<-ch // want `channel receive while holding a scheduler instance`
+	s.Release(idx)
+}
+
+func blockingSend(s *sched.Scheduler, ch chan int) {
+	idx, _ := s.Acquire(context.Background(), sched.Task{})
+	ch <- 1 // want `channel send while holding a scheduler instance`
+	s.Release(idx)
+}
+
+func selectWait(s *sched.Scheduler, ch chan int, ctx context.Context) {
+	idx, _ := s.Acquire(ctx, sched.Task{})
+	select { // want `select while holding a scheduler instance`
+	case <-ch:
+	case <-ctx.Done():
+	}
+	s.Release(idx)
+}
+
+func rangeChan(s *sched.Scheduler, ch chan int) {
+	idx, _ := s.Acquire(context.Background(), sched.Task{})
+	for range ch { // want `range over a channel while holding a scheduler instance`
+		compute()
+	}
+	s.Release(idx)
+}
+
+func nestedAcquire(s *sched.Scheduler) {
+	idx, _ := s.Acquire(context.Background(), sched.Task{})
+	idx2, _ := s.Acquire(context.Background(), sched.Task{}) // want `nested sched.Acquire while already holding`
+	s.Release(idx2)
+	s.Release(idx)
+}
+
+func waitGroupWait(s *sched.Scheduler, wg *sync.WaitGroup) {
+	idx, _ := s.Acquire(context.Background(), sched.Task{})
+	wg.Wait() // want `sync.WaitGroup.Wait while holding a scheduler instance`
+	s.Release(idx)
+}
+
+func mutexLock(s *sched.Scheduler, mu *sync.Mutex) {
+	idx, _ := s.Acquire(context.Background(), sched.Task{})
+	mu.Lock() // want `sync.Mutex.Lock while holding a scheduler instance`
+	mu.Unlock()
+	s.Release(idx)
+}
+
+func sleepHold(s *sched.Scheduler) {
+	idx, _ := s.Acquire(context.Background(), sched.Task{})
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding a scheduler instance`
+	s.Release(idx)
+}
+
+// deferredRelease holds to the end of the function: the receive after the
+// deferred Release still runs while holding.
+func deferredRelease(s *sched.Scheduler, ch chan int) {
+	idx, _ := s.Acquire(context.Background(), sched.Task{})
+	defer s.Release(idx)
+	<-ch // want `channel receive while holding a scheduler instance`
+	compute()
+}
+
+// cleanHold is the canonical shape: acquire, pure compute, release.
+func cleanHold(s *sched.Scheduler) {
+	idx, _ := s.Acquire(context.Background(), sched.Task{})
+	compute()
+	s.Release(idx)
+}
+
+// releaseThenBlock is the wavefront shape: the halo send happens after
+// the instance went back to the pool.
+func releaseThenBlock(s *sched.Scheduler, ch chan int) {
+	idx, _ := s.Acquire(context.Background(), sched.Task{})
+	compute()
+	s.Release(idx)
+	ch <- 1
+	<-ch
+}
+
+// goroutineExempt launches a goroutine while holding: the new goroutine
+// does not hold this instance, so its blocking is not flagged.
+func goroutineExempt(s *sched.Scheduler, ch chan int) {
+	idx, _ := s.Acquire(context.Background(), sched.Task{})
+	go func() {
+		<-ch
+	}()
+	compute()
+	s.Release(idx)
+}
+
+// blockBeforeAcquire is the other wavefront shape: waiting on the left
+// neighbour's halo before acquiring is the designed order.
+func blockBeforeAcquire(s *sched.Scheduler, ch chan int) {
+	<-ch
+	idx, _ := s.Acquire(context.Background(), sched.Task{})
+	compute()
+	s.Release(idx)
+}

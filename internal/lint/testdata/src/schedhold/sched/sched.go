@@ -1,0 +1,22 @@
+// Package sched is a fixture double of internal/engine/sched: the
+// schedhold analyzer matches Acquire/Release by method name, receiver
+// type name, and package name, so this mini scheduler exercises it
+// without importing the real engine.
+package sched
+
+import "context"
+
+// Task mirrors the real scheduler's task descriptor.
+type Task struct{}
+
+// Scheduler mirrors the real EDF dispatcher's surface.
+type Scheduler struct{}
+
+// New returns a fixture scheduler.
+func New(n int) *Scheduler { return &Scheduler{} }
+
+// Acquire blocks until an instance is granted.
+func (s *Scheduler) Acquire(ctx context.Context, t Task) (int, error) { return 0, nil }
+
+// Release returns an instance to the pool.
+func (s *Scheduler) Release(idx int) {}

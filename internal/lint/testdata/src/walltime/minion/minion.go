@@ -1,0 +1,33 @@
+// Package minion exercises walltime: it carries the name of the
+// flow-cell simulator package, so wall-clock reads and unseeded
+// randomness are forbidden here.
+package minion
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockReads() time.Time {
+	time.Sleep(time.Millisecond) // want `time.Sleep in a deterministic subsystem`
+	_ = time.Since(time.Time{})  // want `time.Since in a deterministic subsystem`
+	return time.Now()            // want `time.Now in a deterministic subsystem`
+}
+
+func unseededRand() int {
+	_ = rand.Float64()   // want `rand.Float64 draws from the unseeded global source`
+	return rand.Intn(10) // want `rand.Intn draws from the unseeded global source`
+}
+
+// seededRand is the sanctioned form: every draw replays from the seed.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// epochAllowed carries the audited escape hatch, mirroring the real
+// scheduler epoch annotation.
+func epochAllowed() time.Time {
+	//lint:allow walltime fixture epoch: mirrors the sched.New wall-clock anchor, justified for the golden test
+	return time.Now()
+}

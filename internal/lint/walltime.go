@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime keeps the replayable subsystems off the wall clock. The
+// flow-cell simulator (internal/minion), the read-until runtime model
+// (internal/readuntil), and the scheduler package with its virtual-time
+// twin (internal/engine/sched) are the determinism backbone: the
+// 512-channel keep-up verdict, the yield cross-validation, and every
+// "deterministic twin" property test replay the same seeds to the same
+// byte-identical outputs. One time.Now or unseeded rand call in those
+// packages and a failure stops being reproducible.
+//
+// In those packages (matched by package name: minion, readuntil, sched)
+// the analyzer flags:
+//
+//   - wall-clock reads and timers: time.Now, Since, Until, Sleep, After,
+//     AfterFunc, Tick, NewTimer, NewTicker;
+//   - package-level math/rand and math/rand/v2 functions (rand.Intn,
+//     rand.Float64, ...), which draw from the unseeded global source.
+//     Constructing a seeded source is fine: rand.New, rand.NewSource,
+//     rand.NewPCG and methods on the resulting *rand.Rand are allowed.
+//
+// The concurrent Scheduler's epoch is the one audited exception — it is
+// the wall-clock dispatcher by design, its twin is the deterministic one
+// — and carries //lint:allow walltime annotations at its two clock reads.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock reads and unseeded randomness in the deterministic subsystems " +
+		"(minion, readuntil, sched): replay determinism is what makes their verdicts evidence",
+	Run: runWallTime,
+}
+
+// wallTimePkgs names the packages whose behavior must replay from seeds.
+var wallTimePkgs = map[string]bool{
+	"minion":    true,
+	"readuntil": true,
+	"sched":     true,
+}
+
+// wallClockFuncs are the time package functions that read or schedule
+// against the wall clock.
+var wallClockFuncs = []string{
+	"Now", "Since", "Until", "Sleep", "After", "AfterFunc", "Tick", "NewTimer", "NewTicker",
+}
+
+// seededRandFuncs are the math/rand entry points that construct an
+// explicitly seeded generator rather than drawing from the global one.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallTime(pass *Pass) {
+	if !wallTimePkgs[pass.Pkg.Name()] {
+		return
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range wallClockFuncs {
+				if pkgFunc(pass.TypesInfo, call, "time", name) {
+					pass.Reportf(call.Pos(), "time.%s in a deterministic subsystem; drive %s from the virtual clock or a seed so runs replay byte-identically", name, pass.Pkg.Name())
+					return true
+				}
+			}
+			if name, ok := globalRandCall(pass, call); ok {
+				pass.Reportf(call.Pos(), "rand.%s draws from the unseeded global source; use rand.New(rand.NewSource(seed)) so runs replay byte-identically", name)
+			}
+			return true
+		})
+	}
+}
+
+// globalRandCall reports whether call is a package-level math/rand (or
+// math/rand/v2) function that draws from the global source.
+func globalRandCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	// The receiver must be the rand *package*, not a *rand.Rand value.
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	path := pkgName.Imported().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return "", false
+	}
+	if seededRandFuncs[sel.Sel.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

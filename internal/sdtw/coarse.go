@@ -42,13 +42,24 @@ func NewCoarseScorer(refs [][]int8, cfg IntConfig) (*CoarseScorer, error) {
 func (cs *CoarseScorer) NumRefs() int { return len(cs.refs) }
 
 // RefLen returns the length of decimated reference i.
-func (cs *CoarseScorer) RefLen(i int) int { return len(cs.refs[i]) }
+func (cs *CoarseScorer) RefLen(i int) int { return len(cs.ref(i)) }
+
+// ref fetches panel entry i behind a single unsigned guard the prove pass
+// can see, keeping coarse.go inside the bounds-check audit
+// (scripts/check_bce.sh) alongside the sweep strips.
+func (cs *CoarseScorer) ref(i int) []int8 {
+	refs := cs.refs
+	if uint(i) >= uint(len(refs)) {
+		panic("sdtw: coarse reference index out of range")
+	}
+	return refs[i]
+}
 
 // Score runs a complete single-shot subsequence alignment of query against
 // reference i and returns the best end cost — identical to
 // IntDP16(query, refs[i], cfg) but reusing the scratch row.
 func (cs *CoarseScorer) Score(query []int8, i int) IntResult {
-	ref := cs.refs[i]
+	ref := cs.ref(i)
 	m := len(ref)
 	view := Row16{Cost: cs.scratch.Cost[:m], Run: cs.scratch.Run[:m]}
 	clear(view.Cost)

@@ -1,0 +1,98 @@
+package squiggle
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzDecimate pins the pooling contract under arbitrary traces and
+// factors: output length is always ceil(len(x)/factor), the final partial
+// window is averaged over its own length (never dropped and never diluted
+// by phantom zeros), factor <= 1 is an exact copy, and both variants stay
+// panic-free. The int16 variant additionally must keep every output within
+// the window's [min, max] envelope — a mean with round-half-away-from-zero
+// cannot escape it.
+func FuzzDecimate(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7}, 3)
+	f.Add([]byte{0xff, 0x00}, 1)
+	f.Add([]byte{}, 5)
+	f.Add([]byte{9}, -2)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 4)
+	f.Fuzz(func(t *testing.T, data []byte, factor int) {
+		if factor > 1<<20 {
+			factor = 1 << 20 // keep window arithmetic cheap; contract is factor-size-agnostic
+		}
+		x := make([]float64, len(data))
+		xi := make([]int16, len(data))
+		for i, b := range data {
+			x[i] = float64(int8(b)) / 4 // mixed-sign, non-integral levels
+			var two [2]byte
+			two[0] = b
+			if i+1 < len(data) {
+				two[1] = data[i+1]
+			}
+			xi[i] = int16(binary.LittleEndian.Uint16(two[:]))
+		}
+
+		out := Decimate(x, factor)
+		outI := DecimateInt16(xi, factor)
+
+		if len(data) == 0 {
+			if out != nil || outI != nil {
+				t.Fatalf("empty input must decimate to nil, got %v / %v", out, outI)
+			}
+			return
+		}
+		if factor <= 1 {
+			if len(out) != len(x) {
+				t.Fatalf("factor %d: want copy of length %d, got %d", factor, len(x), len(out))
+			}
+			for i := range x {
+				if out[i] != x[i] || outI[i] != xi[i] {
+					t.Fatalf("factor %d: index %d not copied verbatim", factor, i)
+				}
+			}
+			return
+		}
+
+		wantLen := (len(x) + factor - 1) / factor
+		if len(out) != wantLen || len(outI) != wantLen {
+			t.Fatalf("len(x)=%d factor=%d: want ceil length %d, got %d (float) / %d (int16)",
+				len(x), factor, wantLen, len(out), len(outI))
+		}
+
+		// Partial tail: the last window is averaged over its own length.
+		lo := (wantLen - 1) * factor
+		var sum float64
+		for _, v := range x[lo:] {
+			sum += v
+		}
+		want := sum / float64(len(x)-lo)
+		if math.Abs(out[wantLen-1]-want) > 1e-9 {
+			t.Fatalf("partial tail averaged wrong: got %v, want %v (window %d..%d)",
+				out[wantLen-1], want, lo, len(x))
+		}
+
+		// Every int16 output stays inside its window's [min, max] envelope.
+		for i := range outI {
+			wlo := i * factor
+			whi := wlo + factor
+			if whi > len(xi) {
+				whi = len(xi)
+			}
+			mn, mx := xi[wlo], xi[wlo]
+			for _, v := range xi[wlo:whi] {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			if outI[i] < mn || outI[i] > mx {
+				t.Fatalf("int16 window %d: mean %d escapes [%d, %d]", i, outI[i], mn, mx)
+			}
+		}
+	})
+}

@@ -502,9 +502,11 @@ func (d *Detector) ClassifyGPU(samples []int16) GPUVerdict {
 func (d *Detector) CalibrateThreshold(targetReads, hostReads [][]int16, prefixSamples int) (threshold int32, tpr, fpr float64) {
 	var t, h []float64
 	for _, r := range targetReads {
+		//lint:allow floatcost offline ROC calibration: the float copies feed metrics.BestF1 sorting; the returned threshold itself stays int32
 		t = append(t, float64(d.filter.CostAt(r, prefixSamples).Cost))
 	}
 	for _, r := range hostReads {
+		//lint:allow floatcost offline ROC calibration: the float copies feed metrics.BestF1 sorting; the returned threshold itself stays int32
 		h = append(h, float64(d.filter.CostAt(r, prefixSamples).Cost))
 	}
 	best := metrics.BestF1(t, h)
