@@ -1,6 +1,7 @@
 package squigglefilter
 
 import (
+	"context"
 	"fmt"
 
 	"squigglefilter/internal/engine"
@@ -132,12 +133,26 @@ type CascadeSession struct {
 // NewSession starts an incremental cascade classification of one read
 // under the given exact-tier pruning policy.
 func (cp *CascadePanel) NewSession(prune PrunePolicy) (*CascadeSession, error) {
-	s, err := cp.cascade.NewSession(engine.PrunePolicy{Enabled: prune.Enabled, MarginPerSample: int64(prune.MarginPerSample)})
+	return cp.NewSessionContext(context.Background(), prune)
+}
+
+// NewSessionContext is NewSession bound to a context: both tiers wait for
+// back-end instances under ctx, so cancelling it mid-read unwinds a
+// session stuck behind a saturated scheduler instead of blocking. The
+// session then reports the cause through Err and its verdict stays
+// undecided, like an abandoned read. A nil ctx means context.Background().
+func (cp *CascadePanel) NewSessionContext(ctx context.Context, prune PrunePolicy) (*CascadeSession, error) {
+	s, err := cp.cascade.NewSessionContext(ctx, engine.PrunePolicy{Enabled: prune.Enabled, MarginPerSample: int64(prune.MarginPerSample)})
 	if err != nil {
 		return nil, fmt.Errorf("squigglefilter: %w", err)
 	}
 	return &CascadeSession{cp: cp, s: s}, nil
 }
+
+// Close releases the cascade's persistent coarse-tier workers. Call it
+// when the panel is done serving reads; it is idempotent, and sessions
+// still in flight complete (with less parallelism).
+func (cp *CascadePanel) Close() { cp.cascade.Close() }
 
 // Feed delivers a chunk of raw samples and returns the panel verdict so
 // far plus whether the read is decided. Before the coarse tier commits,
@@ -179,9 +194,30 @@ func (cs *CascadeSession) Survivors() []int { return cs.s.Survivors() }
 // panel.
 func (cs *CascadeSession) DPSamples() int64 { return cs.s.DPSamples() }
 
-// CoarseDPSamples returns the decimated samples the coarse tier scored,
-// summed over targets (zero when TopK covered the panel).
+// Err reports why the session stopped without deciding: non-nil exactly
+// when the session's context was cancelled while a tier waited for
+// back-end instances.
+func (cs *CascadeSession) Err() error { return cs.s.Err() }
+
+// CoarseDPSamples returns the decimated samples the coarse tier actually
+// scored, summed over targets (zero when TopK covered the panel).
+// Targets the admissible bound abandoned early contribute only the
+// samples consumed before their bound fired.
 func (cs *CascadeSession) CoarseDPSamples() int64 { return cs.s.CoarseDPSamples() }
+
+// CoarseDPCells returns the coarse DP cells actually computed — compare
+// against targets × hypotheses × (decimated prefix × decimated reference)
+// for the exhaustive coarse tier's cell count.
+func (cs *CascadeSession) CoarseDPCells() int64 { return cs.s.CoarseDPCells() }
+
+// CoarsePruned returns how many per-target coarse scorings the admissible
+// lower bound abandoned before the final row, across all dwell
+// hypotheses; CoarseScorings is the denominator.
+func (cs *CascadeSession) CoarsePruned() int64 { return cs.s.CoarsePruned() }
+
+// CoarseScorings returns how many per-target coarse scorings the coarse
+// tier attempted (targets × dwell hypotheses).
+func (cs *CascadeSession) CoarseScorings() int64 { return cs.s.CoarseScorings() }
 
 // DPCells returns the total DP cells computed across both tiers — the
 // apples-to-apples work metric against an exact panel, whose per-read

@@ -1,0 +1,85 @@
+package squigglefilter
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"squigglefilter/internal/engine"
+	"squigglefilter/internal/normalize"
+	"squigglefilter/internal/squiggle"
+)
+
+// TestCascadePruneSweep regenerates EXPERIMENTS.md's pruning-efficiency
+// table: for each panel size and TopK it streams a read pool through the
+// cascade and reports the coarse DP cells the bounded tier actually paid
+// against the exhaustive tier's analytic cell count (every hypothesis's
+// decimated query length x the summed decimated reference lengths), plus
+// the fraction of per-target scorings the admissible bound abandoned.
+// It is a documentation generator, not a regression gate — run it with
+//
+//	CASCADE_PRUNE_SWEEP=1 go test -run TestCascadePruneSweep -v -timeout 30m .
+func TestCascadePruneSweep(t *testing.T) {
+	if os.Getenv("CASCADE_PRUNE_SWEEP") == "" {
+		t.Skip("set CASCADE_PRUNE_SWEEP=1 to regenerate the EXPERIMENTS.md pruning table")
+	}
+	const reads = 12
+	for _, n := range []int{8, 64, 256, 1000} {
+		rng := rand.New(rand.NewSource(4242))
+		for _, k := range []int{4, 8, 16} {
+			cp, genomes, sim := cascadeFixture(t, rng, n, 800, CascadeConfig{TopK: k})
+			cc := cp.Config()
+
+			// The exhaustive coarse tier's cells: rebuild the coarse
+			// references exactly as NewCascadePanel does and charge every
+			// hypothesis's full query against every one of them.
+			cfgs := make([]DetectorConfig, n)
+			for i, g := range genomes {
+				cfgs[i] = DetectorConfig{Name: g.Name, Sequence: g.Seq.String(), Workers: 1}
+			}
+			_, _, dets, err := buildTargets(cfgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var totalCoarseLen int64
+			for _, det := range dets {
+				totalCoarseLen += int64(len(normalize.QuantizeSlice(squiggle.Decimate(det.ref.Float, cc.Decimation))))
+			}
+
+			var cells, pruned, scorings, exhaustive int64
+			attributed := 0
+			for r := 0; r < reads; r++ {
+				src := []int{0, 1, 2, 3}[r%4]
+				read := sim.ReadFrom(genomes[src], 50+r*13, 700, r%2 == 1)
+				sess, err := cp.NewSession(PrunePolicy{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				v, _ := sess.Stream(read.Samples, 400)
+				if v.Best == src {
+					attributed++
+				}
+				cells += sess.CoarseDPCells()
+				pruned += sess.CoarsePruned()
+				scorings += sess.CoarseScorings()
+				prefix := read.Samples
+				if len(prefix) > cc.CoarsePrefix {
+					prefix = prefix[:cc.CoarsePrefix]
+				}
+				dw := engine.DefaultQueryDwell
+				for _, dwell := range []int{dw - 2, dw, dw + 2} {
+					qlen := int64(len(squiggle.DecimateInt16(prefix, cc.Decimation*dwell)))
+					exhaustive += qlen * totalCoarseLen
+				}
+			}
+			fmt.Printf("N=%4d k=%2d  coarse cells/read %9.0f  exhaustive %9.0f  saved %5.1f%%  pruned-frac %.3f  source-hit %d/%d\n",
+				n, k,
+				float64(cells)/reads, float64(exhaustive)/reads,
+				100*(1-float64(cells)/float64(exhaustive)),
+				float64(pruned)/float64(scorings),
+				attributed, reads)
+			cp.Close()
+		}
+	}
+}

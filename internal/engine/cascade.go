@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -23,10 +24,21 @@ import (
 // samples are decimated to roughly one sample per Decimation bases of
 // genome (factor Decimation×dwell, since raw signal dwells ~10 samples
 // per base) and scored against every target's Decimation×-decimated
-// reference with the packed 16-bit kernel — roughly
+// reference with the packed 16-bit kernel — at most
 // N·(prefix/(d·dwell))·(refLen/d) DP cells per dwell hypothesis, a
 // d²·dwell reduction per target, so 1,000 decimated targets cost less
 // than a single exact one.
+//
+// Within one hypothesis the coarse pass is also output-sensitive in k,
+// not linear in N alone: every target scores under a shared running cut
+// (the k-th best exact coarse cost completed so far, plus Margin), and
+// the bounded kernel (sdtw.ExtendShard16Bounded) abandons a reference
+// the moment its admissible lower bound exceeds that cut. Only targets
+// that can still place in the top-k pay for full sweeps; the rest pay a
+// few rows each. Survivor selection is bit-identical to exhaustive
+// scoring by construction — pruned means the exact cost provably missed
+// the cut (DESIGN.md §11) — and TestCascadeBoundedSurvivorIdentity locks
+// the equivalence.
 //
 // A read's true dwell varies ±~25% read to read (the sequencer's rate
 // jitter), and the no-ref-deletion recurrence is one-sidedly fragile to
@@ -65,6 +77,14 @@ const (
 	dwellSpread = 2
 )
 
+// coarsePrunedCost is the cost recorded for a target the bounded kernel
+// abandoned: it exceeds every exact coarse cost (those are saturating
+// int16 values) and every survivor cut under which a prune can fire (a
+// cut at or above the int16 ceiling shuts pruning off entirely, since
+// the admissible bound never exceeds the row minimum), so a pruned
+// target can never re-enter the survivor set through the cut scan.
+const coarsePrunedCost = math.MaxInt32
+
 // CascadeConfig parameterizes the coarse tier.
 type CascadeConfig struct {
 	// Decimation is the mean-pooling factor applied to both the reference
@@ -94,6 +114,11 @@ type CascadeConfig struct {
 	// unalignable under the no-ref-deletion recurrence. 0 means
 	// DefaultQueryDwell.
 	QueryDwell int
+	// RecordCoarseCosts retains a per-hypothesis copy of every target's
+	// coarse cost on the session for CoarseCosts diagnostics. Off (the
+	// default) the coarse pass keeps no per-read copies — part of its
+	// allocation-free hot path — and CoarseCosts returns nil.
+	RecordCoarseCosts bool
 }
 
 func (c CascadeConfig) withDefaults() CascadeConfig {
@@ -146,8 +171,9 @@ func (c CascadeConfig) validate() error {
 }
 
 // Cascade pairs an exact Panel with the decimated coarse references that
-// gate it. It is safe for concurrent use: coarse scoring state lives in a
-// per-worker pool and per-read state in CascadeSession.
+// gate it. It is safe for concurrent use: coarse scoring state lives in
+// pools (one scorer per worker, one pass per in-flight read) and
+// per-read state in CascadeSession.
 type Cascade struct {
 	panel  *Panel
 	cfg    CascadeConfig
@@ -160,6 +186,23 @@ type Cascade struct {
 	sch     *sched.Scheduler
 	workers int
 	scorers sync.Pool
+	passes  sync.Pool
+	// seedOrder lists target indices shortest-coarse-reference-first
+	// (ties by index): the pass scores targets in this order so the
+	// shared cut seeds on the cheapest references before the expensive
+	// ones start, maximizing how much of their work the bound can
+	// abandon.
+	seedOrder []int32
+	// The persistent coarse worker set: helpers park on work and drain
+	// whatever pass is handed to them, so scoring a read spawns no
+	// goroutines. quit (closed by Close) releases them; sends are
+	// non-blocking, so a busy or released helper set just means the
+	// pass's caller drains more targets itself.
+	work      chan *coarsePass
+	quit      chan struct{}
+	spawn     sync.Once
+	closeOnce sync.Once
+	helpers   sync.WaitGroup
 }
 
 // NewCascade builds a cascade in front of panel. coarseRefs holds the
@@ -193,13 +236,27 @@ func NewCascade(panel *Panel, coarseRefs [][]int8, icfg sdtw.IntConfig, cfg Casc
 	if n := runtime.NumCPU(); workers > n {
 		workers = n
 	}
+	seed := make([]int32, len(coarseRefs))
+	for i := range seed {
+		seed[i] = int32(i)
+	}
+	sort.Slice(seed, func(a, b int) bool {
+		la, lb := len(coarseRefs[seed[a]]), len(coarseRefs[seed[b]])
+		if la != lb {
+			return la < lb
+		}
+		return seed[a] < seed[b]
+	})
 	c := &Cascade{
-		panel:   panel,
-		cfg:     cfg,
-		coarse:  coarseRefs,
-		icfg:    icfg,
-		sch:     sched.New(workers),
-		workers: workers,
+		panel:     panel,
+		cfg:       cfg,
+		coarse:    coarseRefs,
+		icfg:      icfg,
+		sch:       sched.New(workers),
+		workers:   workers,
+		seedOrder: seed,
+		work:      make(chan *coarsePass),
+		quit:      make(chan struct{}),
 	}
 	c.scorers.New = func() any {
 		s, err := sdtw.NewCoarseScorer(coarseRefs, icfg)
@@ -217,8 +274,45 @@ func (c *Cascade) Config() CascadeConfig { return c.cfg }
 // Panel returns the exact tier.
 func (c *Cascade) Panel() *Panel { return c.panel }
 
+// Close releases the persistent coarse workers. Call it when the cascade
+// is done serving reads; outstanding sessions should finish first (a
+// pass in flight when Close lands still completes — its caller always
+// drains — but may run with less parallelism). Close is idempotent, and
+// a cascade that never scored has nothing to release.
+func (c *Cascade) Close() {
+	c.closeOnce.Do(func() {
+		close(c.quit)
+		c.helpers.Wait()
+	})
+}
+
+// spawnHelpers starts the persistent worker set on first use: workers-1
+// helper goroutines that live until Close, each parking on the work
+// channel between passes. The pass's caller is the final worker.
+func (c *Cascade) spawnHelpers() {
+	c.spawn.Do(func() {
+		for i := 0; i < c.workers-1; i++ {
+			c.helpers.Add(1)
+			go func() {
+				defer c.helpers.Done()
+				for {
+					select {
+					case <-c.quit:
+						return
+					case p := <-c.work:
+						p.drain()
+						p.wg.Done()
+					}
+				}
+			}()
+		}
+	})
+}
+
 // coarseServiceTime models one coarse score's DP time from the 16-bit
-// kernel's calibrated per-cell rate.
+// kernel's calibrated per-cell rate. It is the a-priori (unpruned) cost:
+// early abandonment only ever shortens the actual hold, so EDF ordering
+// and modeled-busy accounting stay conservative.
 func coarseServiceTime(queryLen, refLen int) time.Duration {
 	cells := float64(queryLen) * float64(refLen)
 	return time.Duration(cells * sw16CellSeconds() * float64(time.Second))
@@ -227,7 +321,9 @@ func coarseServiceTime(queryLen, refLen int) time.Duration {
 // CoarseServiceTime returns the modeled wall time of one read's full
 // coarse pass — every dwell hypothesis over every target — given the raw
 // prefix length it will score: the figure flow-cell keep-up accounting
-// adds per read on top of the exact tier's ServiceTime.
+// adds per read on top of the exact tier's ServiceTime. Like
+// coarseServiceTime it prices the unpruned pass; the admissible bound
+// only ever makes the real pass cheaper.
 func (c *Cascade) CoarseServiceTime(rawPrefix int) time.Duration {
 	if rawPrefix > c.cfg.CoarsePrefix {
 		rawPrefix = c.cfg.CoarsePrefix
@@ -245,75 +341,311 @@ func (c *Cascade) CoarseServiceTime(rawPrefix int) time.Duration {
 	return total
 }
 
-// scoreAll ranks the decimated query against every coarse reference,
-// fanning targets across the bounded worker set. Every query scores
-// against every reference at the same length, so raw costs rank targets
-// directly — no per-target normalization is needed within one read.
-func (c *Cascade) scoreAll(q []int8) []int32 {
+// cutTracker maintains the k smallest exact coarse costs completed so
+// far in one hypothesis pass and publishes the running survivor cut
+// (k-th best + Margin·qlen) through an atomic for the bounded sweeps to
+// read lock-free mid-row. Until k exact costs complete the published cut
+// stays at MaxInt64, pruning nothing — so the first k completions are
+// always scored exactly, whatever order targets finish in. The cut is
+// monotone non-increasing and always at or above the pass's final cut,
+// which is what makes every prune admissible for survivor selection
+// (DESIGN.md §11).
+type cutTracker struct {
+	mu     sync.Mutex
+	worst  []int32 // max-heap of the k best costs seen, len <= k
+	k      int
+	margin int64 // Margin * qlen, fixed per hypothesis
+	cut    atomic.Int64
+}
+
+func (ct *cutTracker) reset(k int, margin int64) {
+	if cap(ct.worst) < k {
+		ct.worst = make([]int32, 0, k)
+	}
+	ct.worst = ct.worst[:0]
+	ct.k = k
+	ct.margin = margin
+	ct.cut.Store(math.MaxInt64)
+}
+
+// offer records one completed exact cost, tightening the published cut
+// when it displaces the current k-th best. The lock-free fast path skips
+// costs that cannot tighten an already-published cut.
+func (ct *cutTracker) offer(cost int32) {
+	if cur := ct.cut.Load(); cur != math.MaxInt64 && int64(cost)+ct.margin >= cur {
+		return
+	}
+	ct.mu.Lock()
+	h := ct.worst
+	if len(h) < ct.k {
+		// Sift the new cost up the max-heap.
+		h = append(h, cost)
+		i := len(h) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if h[parent] >= h[i] {
+				break
+			}
+			h[parent], h[i] = h[i], h[parent]
+			i = parent
+		}
+		ct.worst = h
+		if len(h) == ct.k {
+			ct.cut.Store(int64(h[0]) + ct.margin)
+		}
+	} else if cost < h[0] {
+		// Replace the root (current k-th best) and sift down.
+		h[0] = cost
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < len(h) && h[l] > h[big] {
+				big = l
+			}
+			if r < len(h) && h[r] > h[big] {
+				big = r
+			}
+			if big == i {
+				break
+			}
+			h[i], h[big] = h[big], h[i]
+			i = big
+		}
+		ct.cut.Store(int64(h[0]) + ct.margin)
+	}
+	ct.mu.Unlock()
+}
+
+// coarsePass is the pooled per-read coarse scoring state: everything one
+// read's hypotheses need — decimation and normalization scratch, the
+// cost array, the shared cut, selection scratch, and the work counter
+// the participants (caller + parked helpers) pull targets from. Pooling
+// it alongside the scorers is what makes the whole coarse pass
+// allocation-free per read.
+type coarsePass struct {
+	c   *Cascade
+	ctx context.Context
+	q   []int8  // decimated+normalized query of the current hypothesis
+	eq  []int16 // decimation scratch feeding q
+	// costs holds each target's exact coarse cost, or coarsePrunedCost
+	// where the bound abandoned it.
+	costs []int32
+	keep  []bool  // per-read survivor union across hypotheses
+	sel   []int32 // quickselect scratch for the survivor cut
+	cut   cutTracker
+	next  atomic.Int64 // index into Cascade.seedOrder
+	wg    sync.WaitGroup
+	mu    sync.Mutex // guards err
+	err   error
+	// per-hypothesis accounting, reset by beginHypothesis
+	samples atomic.Int64 // query samples actually scored, summed over targets
+	cells   atomic.Int64 // DP cells actually computed
+	pruned  atomic.Int64 // targets the bound abandoned
+}
+
+func (c *Cascade) getPass(ctx context.Context) *coarsePass {
+	p, _ := c.passes.Get().(*coarsePass)
+	if p == nil {
+		p = &coarsePass{c: c}
+	}
 	n := len(c.coarse)
-	costs := make([]int32, n)
-	score := func(i int) {
-		idx, err := c.sch.Acquire(context.Background(), sched.Task{
-			Cost: coarseServiceTime(len(q), len(c.coarse[i])),
+	p.ctx = ctx
+	if cap(p.costs) < n {
+		p.costs = make([]int32, n)
+		p.keep = make([]bool, n)
+	}
+	p.costs = p.costs[:n]
+	p.keep = p.keep[:n]
+	clear(p.keep)
+	p.err = nil
+	return p
+}
+
+func (c *Cascade) putPass(p *coarsePass) {
+	p.ctx = nil
+	c.passes.Put(p)
+}
+
+// beginHypothesis arms the pass for one dwell hypothesis: fresh work
+// counter, unseeded cut, zeroed accounting. qlen is the decimated query
+// length the Margin scales with.
+func (p *coarsePass) beginHypothesis(qlen int) {
+	p.cut.reset(p.c.cfg.TopK, p.c.cfg.Margin*int64(qlen))
+	p.next.Store(0)
+	p.samples.Store(0)
+	p.cells.Store(0)
+	p.pruned.Store(0)
+}
+
+func (p *coarsePass) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+	// Park the work counter past the end so every participant drains out.
+	p.next.Store(int64(len(p.c.coarse)))
+}
+
+func (p *coarsePass) takeErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// drain scores targets off the pass's work counter until none remain:
+// the body every participant — the session's caller and any parked
+// helpers — runs. Targets come out in seedOrder (shortest reference
+// first) so the shared cut tightens as early and cheaply as possible;
+// each score still borrows a scheduler slot at its modeled cost, and
+// everything between Acquire and Release is pure DP.
+func (p *coarsePass) drain() {
+	c := p.c
+	n := len(c.coarse)
+	s := c.scorers.Get().(*sdtw.CoarseScorer)
+	for {
+		j := p.next.Add(1) - 1
+		if j >= int64(n) {
+			break
+		}
+		i := int(c.seedOrder[j])
+		ref := c.coarse[i]
+		idx, err := c.sch.Acquire(p.ctx, sched.Task{
+			Cost: coarseServiceTime(len(p.q), len(ref)),
 		})
 		if err != nil {
-			panic(err) // unreachable: the background context never cancels
+			p.fail(err)
+			break
 		}
-		s := c.scorers.Get().(*sdtw.CoarseScorer)
-		costs[i] = s.Score(q, i).Cost
-		c.scorers.Put(s)
+		r := s.ScoreBounded(p.q, i, &p.cut.cut)
 		c.sch.Release(idx)
-	}
-	if c.workers <= 1 || n == 1 {
-		for i := 0; i < n; i++ {
-			score(i)
+		p.samples.Add(int64(r.Samples))
+		p.cells.Add(int64(r.Samples) * int64(len(ref)))
+		if r.Pruned {
+			p.pruned.Add(1)
+			p.costs[i] = coarsePrunedCost
+		} else {
+			p.costs[i] = r.Cost
+			p.cut.offer(r.Cost)
 		}
-		return costs
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < c.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				score(i)
+	c.scorers.Put(s)
+}
+
+// runPass scores the armed hypothesis against every target, fanning the
+// work across the persistent helper set, and returns the first error a
+// participant hit (context cancellation in Acquire). The caller always
+// participates and always sees the pass through; helpers that are busy
+// with other reads — or already released by Close — simply don't join.
+func (c *Cascade) runPass(p *coarsePass) error {
+	n := len(c.coarse)
+	if c.workers > 1 && n > 1 {
+		c.spawnHelpers()
+		helpers := c.workers - 1
+		if helpers > n-1 {
+			helpers = n - 1
+		}
+		for i := 0; i < helpers; i++ {
+			p.wg.Add(1)
+			select {
+			case c.work <- p:
+			default:
+				p.wg.Add(-1)
 			}
-		}()
+		}
 	}
-	wg.Wait()
-	return costs
+	p.drain()
+	p.wg.Wait()
+	return p.takeErr()
+}
+
+// kthSmallestInt32 returns the k-th smallest value (1-based, k in
+// [1, len]) of xs, partially reordering xs in place: iterative
+// quickselect with deterministic median-of-three pivoting, so the
+// survivor cut costs O(n) expected instead of the O(n log n) full sort
+// it replaced — and zero allocations, since only the pooled selection
+// scratch is ever reordered.
+func kthSmallestInt32(xs []int32, k int) int32 {
+	lo, hi, target := 0, len(xs)-1, k-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		p := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < p {
+				i++
+			}
+			for xs[j] > p {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case target <= j:
+			hi = j
+		case target >= i:
+			lo = i
+		default:
+			return xs[target]
+		}
+	}
+	return xs[lo]
+}
+
+// survivorCut returns the hypothesis's cut — the k-th smallest cost plus
+// Margin per decimated sample — using scratch for the quickselect copy;
+// the possibly-grown scratch is returned for reuse. Identical by value
+// to the cut the former sort-based selection computed: sorting by
+// (cost, index) and reading entry k-1 yields exactly the k-th smallest
+// cost value.
+func (c *Cascade) survivorCut(costs []int32, qlen int, scratch []int32) (int64, []int32) {
+	scratch = append(scratch[:0], costs...)
+	kth := kthSmallestInt32(scratch, c.cfg.TopK)
+	return int64(kth) + c.cfg.Margin*int64(qlen), scratch
 }
 
 // survivors picks the panel indices whose coarse cost is at most the k-th
 // best plus Margin per decimated sample — top-k with ties and near-ties
 // kept rather than split arbitrarily. Indices return in ascending panel
 // order, so the exact tier's earliest-index tie-breaking matches the full
-// panel's.
+// panel's. Entries at coarsePrunedCost (bound-abandoned targets) can
+// never make the cut whenever any prune actually fired.
 func (c *Cascade) survivors(costs []int32, qlen int) []int {
-	n := len(costs)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		if costs[order[a]] != costs[order[b]] {
-			return costs[order[a]] < costs[order[b]]
-		}
-		return order[a] < order[b]
-	})
-	cut := int64(costs[order[c.cfg.TopK-1]]) + c.cfg.Margin*int64(qlen)
+	cut, _ := c.survivorCut(costs, qlen, make([]int32, 0, len(costs)))
 	out := make([]int, 0, c.cfg.TopK)
-	for i := 0; i < n; i++ {
+	for i := range costs {
 		if int64(costs[i]) <= cut {
 			out = append(out, i)
 		}
 	}
 	return out
+}
+
+// markSurvivors ors the armed hypothesis's survivor set into the pass's
+// per-read keep mask — the allocation-free twin of survivors over the
+// pass's own scratch.
+func (p *coarsePass) markSurvivors(qlen int) {
+	cut, scratch := p.c.survivorCut(p.costs, qlen, p.sel)
+	p.sel = scratch
+	for i := range p.costs {
+		if int64(p.costs[i]) <= cut {
+			p.keep[i] = true
+		}
+	}
 }
 
 // CascadeSession is the incremental form of cascade classification: raw
@@ -325,27 +657,43 @@ func (c *Cascade) survivors(costs []int32, qlen int) []int {
 // single-read and single-goroutine.
 type CascadeSession struct {
 	c     *Cascade
+	ctx   context.Context
 	prune PrunePolicy
 	// buf accumulates raw samples until promotion; nil afterwards.
 	buf []int16
 	fed int
 	// inner is the exact tier over the survivors; nil until promotion.
-	inner       *PanelSession
-	surv        []int     // survivor panel indices, ascending
-	coarseCost  [][]int32 // per dwell hypothesis, per target
-	scored      bool
-	coarseDP    int64 // decimated samples scored, summed over targets
-	coarseCells int64 // coarse DP cells, summed over targets
-	done        bool
+	inner          *PanelSession
+	surv           []int     // survivor panel indices, ascending
+	coarseCost     [][]int32 // per dwell hypothesis, per target (RecordCoarseCosts)
+	scored         bool
+	coarseDP       int64 // decimated samples actually scored, summed over targets
+	coarseCells    int64 // coarse DP cells actually computed
+	coarsePruned   int64 // (target, hypothesis) scorings the bound abandoned
+	coarseScorings int64 // (target, hypothesis) scorings attempted
+	err            error
+	done           bool
 }
 
 // NewSession starts an incremental cascade classification of one read.
 // The prune policy governs the exact tier exactly as in Panel.NewSession.
 func (c *Cascade) NewSession(prune PrunePolicy) (*CascadeSession, error) {
+	return c.NewSessionContext(context.Background(), prune)
+}
+
+// NewSessionContext is NewSession bound to a context: both tiers wait
+// for scheduler slots under ctx, so cancelling it mid-read unwinds the
+// coarse pass (and the exact tier) cleanly instead of blocking — the
+// session then reports the cause through Err and stays undecided, like
+// an abandoned read. A nil ctx means context.Background().
+func (c *Cascade) NewSessionContext(ctx context.Context, prune PrunePolicy) (*CascadeSession, error) {
 	if err := prune.validate(); err != nil {
 		return nil, err
 	}
-	return &CascadeSession{c: c, prune: prune}, nil
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &CascadeSession{c: c, ctx: ctx, prune: prune}, nil
 }
 
 // Feed delivers a chunk of raw samples and returns the panel verdict so
@@ -368,7 +716,10 @@ func (cs *CascadeSession) feedChunk(chunk []int16) bool {
 		if len(cs.buf) < cs.c.cfg.CoarsePrefix {
 			return false
 		}
-		cs.promote()
+		if err := cs.promote(); err != nil {
+			cs.abort(err)
+			return true
+		}
 		buf := cs.buf
 		cs.buf = nil
 		cs.done = cs.inner.feed(buf)
@@ -378,13 +729,23 @@ func (cs *CascadeSession) feedChunk(chunk []int16) bool {
 	return cs.done
 }
 
+// abort stops the session without a decision: the read's context was
+// cancelled mid-coarse-pass. The verdict stays all-Continue (exactly an
+// abandoned read) and Err reports the cause.
+func (cs *CascadeSession) abort(err error) {
+	cs.err = err
+	cs.buf = nil
+	cs.done = true
+}
+
 // promote runs the coarse tier on the buffered prefix and opens the exact
 // tier over the survivors. With TopK covering the whole panel the coarse
 // tier is skipped outright (every target survives, zero coarse DP); with
 // an empty buffer — a read finalized before any signal — there is no
 // evidence to prune on, so every target survives and decides on nothing,
-// exactly as the plain panel would.
-func (cs *CascadeSession) promote() {
+// exactly as the plain panel would. The only error is the session
+// context cancelling mid-pass.
+func (cs *CascadeSession) promote() error {
 	c := cs.c
 	n := len(c.panel.targets)
 	if c.cfg.TopK >= n || len(cs.buf) == 0 {
@@ -401,26 +762,34 @@ func (cs *CascadeSession) promote() {
 		// top-k: ranks are only meaningful within a hypothesis, and the
 		// hypothesis matching the read's true rate is the one that keeps
 		// the exact winner.
-		keep := make([]bool, n)
+		p := c.getPass(cs.ctx)
 		for _, qf := range c.cfg.queryFactors() {
-			q := normalize.ApplyInt8(squiggle.DecimateInt16(prefix, qf))
-			costs := c.scoreAll(q)
-			cs.coarseCost = append(cs.coarseCost, costs)
-			cs.coarseDP += int64(len(q)) * int64(n)
-			for _, ref := range c.coarse {
-				cs.coarseCells += int64(len(q)) * int64(len(ref))
+			p.eq = squiggle.DecimateInt16Into(p.eq, prefix, qf)
+			p.q = normalize.ApplyInt8Into(p.q, p.eq)
+			p.beginHypothesis(len(p.q))
+			if err := c.runPass(p); err != nil {
+				c.putPass(p)
+				return err
 			}
-			for _, i := range c.survivors(costs, len(q)) {
-				keep[i] = true
+			if c.cfg.RecordCoarseCosts {
+				row := make([]int32, n)
+				copy(row, p.costs)
+				cs.coarseCost = append(cs.coarseCost, row)
 			}
+			cs.coarseDP += p.samples.Load()
+			cs.coarseCells += p.cells.Load()
+			cs.coarsePruned += p.pruned.Load()
+			cs.coarseScorings += int64(n)
+			p.markSurvivors(len(p.q))
 		}
 		cs.scored = true
 		cs.surv = cs.surv[:0]
-		for i, k := range keep {
+		for i, k := range p.keep {
 			if k {
 				cs.surv = append(cs.surv, i)
 			}
 		}
+		c.putPass(p)
 	}
 	sub := make([]Target, len(cs.surv))
 	for j, i := range cs.surv {
@@ -428,7 +797,7 @@ func (cs *CascadeSession) promote() {
 	}
 	subPanel, err := NewPanel(sub)
 	if err == nil {
-		cs.inner, err = subPanel.NewSession(cs.prune)
+		cs.inner, err = subPanel.NewSessionContext(cs.ctx, cs.prune)
 	}
 	if err != nil {
 		// Unreachable: survivors are non-empty (TopK >= 1), the prune
@@ -436,6 +805,7 @@ func (cs *CascadeSession) promote() {
 		// probed at NewCascade.
 		panic(err)
 	}
+	return nil
 }
 
 // Finalize signals that the read ended. A read shorter than the coarse
@@ -446,7 +816,10 @@ func (cs *CascadeSession) Finalize() PanelResult {
 		return cs.snapshot()
 	}
 	if cs.inner == nil {
-		cs.promote()
+		if err := cs.promote(); err != nil {
+			cs.abort(err)
+			return cs.snapshot()
+		}
 		buf := cs.buf
 		cs.buf = nil
 		if len(buf) > 0 {
@@ -480,6 +853,12 @@ func (cs *CascadeSession) Stream(samples []int16, chunkSamples int) (PanelResult
 // pruned.
 func (cs *CascadeSession) Decided() bool { return cs.done }
 
+// Err reports why the session stopped without deciding: non-nil exactly
+// when the session's context was cancelled while a tier waited for
+// scheduler slots. The verdict is then the all-Continue abandoned-read
+// one.
+func (cs *CascadeSession) Err() error { return cs.err }
+
 // SamplesFed returns the raw samples delivered so far.
 func (cs *CascadeSession) SamplesFed() int { return cs.fed }
 
@@ -499,11 +878,14 @@ func (cs *CascadeSession) Survivors() []int {
 
 // CoarseCosts returns each target's coarse-tier cost in panel order, one
 // row per dwell hypothesis (ascending decimation factor), or nil when
-// the coarse tier did not score (not promoted yet, or skipped because
-// TopK covered the panel). Costs compare only within a row. The slices
-// are copies.
+// the coarse tier did not score (not promoted yet, skipped because TopK
+// covered the panel, or CascadeConfig.RecordCoarseCosts is off — the
+// default, keeping the coarse pass allocation-free). Costs compare only
+// within a row; entries at or above math.MaxInt32 mark targets the
+// admissible bound abandoned (their exact cost provably missed the
+// survivor cut). The slices are copies.
 func (cs *CascadeSession) CoarseCosts() [][]int32 {
-	if !cs.scored {
+	if !cs.scored || cs.coarseCost == nil {
 		return nil
 	}
 	out := make([][]int32, len(cs.coarseCost))
@@ -524,9 +906,24 @@ func (cs *CascadeSession) DPSamples() int64 {
 	return cs.inner.DPSamples()
 }
 
-// CoarseDPSamples returns the decimated samples the coarse tier scored,
-// summed over targets (zero when the coarse tier was skipped).
+// CoarseDPSamples returns the decimated samples the coarse tier actually
+// scored, summed over targets (zero when the coarse tier was skipped).
+// Early-abandoned targets contribute only the samples consumed before
+// their bound fired.
 func (cs *CascadeSession) CoarseDPSamples() int64 { return cs.coarseDP }
+
+// CoarseDPCells returns the coarse DP cells actually computed — the
+// numerator of the pruning-efficiency story, against the exhaustive
+// tier's qlen × refLen × targets per hypothesis.
+func (cs *CascadeSession) CoarseDPCells() int64 { return cs.coarseCells }
+
+// CoarsePruned returns how many per-target scorings the admissible bound
+// abandoned early, across all dwell hypotheses.
+func (cs *CascadeSession) CoarsePruned() int64 { return cs.coarsePruned }
+
+// CoarseScorings returns how many per-target scorings the coarse tier
+// attempted (targets × hypotheses) — the denominator for CoarsePruned.
+func (cs *CascadeSession) CoarseScorings() int64 { return cs.coarseScorings }
 
 // DPCells returns the total DP cells computed across both tiers — the
 // apples-to-apples work metric for comparing a cascade against an exact
@@ -567,10 +964,21 @@ func (cs *CascadeSession) snapshot() PanelResult {
 
 // Classify runs one read through the cascade in one shot.
 func (c *Cascade) Classify(samples []int16) PanelResult {
-	cs, err := c.NewSession(PrunePolicy{})
+	r, err := c.ClassifyContext(context.Background(), samples)
+	if err != nil {
+		panic(err) // unreachable: the background context never cancels
+	}
+	return r
+}
+
+// ClassifyContext is Classify under a context: a cancellation mid-read
+// unwinds both tiers and returns the cause alongside the undecided
+// (all-Continue) verdict.
+func (c *Cascade) ClassifyContext(ctx context.Context, samples []int16) (PanelResult, error) {
+	cs, err := c.NewSessionContext(ctx, PrunePolicy{})
 	if err != nil {
 		panic(err) // unreachable: the zero policy always validates
 	}
 	r, _ := cs.Stream(samples, 0)
-	return r
+	return r, cs.Err()
 }

@@ -196,7 +196,7 @@ func TestCascadeEmptyAndShortReads(t *testing.T) {
 		targets[i] = swTarget(t, "t", refs[i], cfg, 1, stages)
 	}
 	panel := swPanel(t, targets)
-	c := swCascade(t, panel, refs, CascadeConfig{TopK: 1, Decimation: 4, CoarsePrefix: 600})
+	c := swCascade(t, panel, refs, CascadeConfig{TopK: 1, Decimation: 4, CoarsePrefix: 600, RecordCoarseCosts: true})
 
 	cs, err := c.NewSession(PrunePolicy{})
 	if err != nil {

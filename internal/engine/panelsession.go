@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -65,6 +66,16 @@ type PanelSession struct {
 // every target. It errors when a target's pipeline cannot host sessions
 // (back-ends this package did not build) or the prune policy is invalid.
 func (p *Panel) NewSession(prune PrunePolicy) (*PanelSession, error) {
+	return p.NewSessionContext(context.Background(), prune)
+}
+
+// NewSessionContext is NewSession bound to a context: every per-target
+// session waits for its pipeline instances under ctx, so cancelling it
+// unblocks a Feed stuck behind a saturated scheduler (each target then
+// reports its session error; the panel verdict stays undecided). The
+// cascade threads its session context through here so the exact tier
+// honors the same cancellation as the coarse pass.
+func (p *Panel) NewSessionContext(ctx context.Context, prune PrunePolicy) (*PanelSession, error) {
 	if err := prune.validate(); err != nil {
 		return nil, err
 	}
@@ -78,7 +89,7 @@ func (p *Panel) NewSession(prune PrunePolicy) (*PanelSession, error) {
 		live:    n,
 	}
 	for i, t := range p.targets {
-		s, err := t.Pipeline.NewSession()
+		s, err := t.Pipeline.NewSessionContext(ctx)
 		if err != nil {
 			for j := 0; j < i; j++ {
 				ps.sess[j].Abandon()

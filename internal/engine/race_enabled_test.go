@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled lets allocation-count tests stand down under the race
+// detector, whose instrumentation allocates on channel and pool
+// operations the uninstrumented build does not.
+const raceEnabled = true

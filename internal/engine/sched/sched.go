@@ -62,6 +62,28 @@ type waiter struct {
 	index     int // heap index
 }
 
+// waiterPool recycles waiters (and their grant channels) across Acquire
+// calls: the cascade's coarse tier issues one Acquire per target per
+// read — thousands per read at panel scale — and pooling is what keeps
+// that loop allocation-free. A waiter returns to the pool only once no
+// other goroutine can touch it: after Release's accounting, or after a
+// cancelled Acquire has provably withdrawn it (grant drained, or removed
+// from the queue under mu). Its grant channel is empty on every return
+// path, so reuse never observes a stale grant.
+var waiterPool = sync.Pool{
+	New: func() any { return &waiter{grant: make(chan int, 1)} },
+}
+
+func getWaiter(deadline, cost, submitted time.Duration) *waiter {
+	w := waiterPool.Get().(*waiter)
+	w.deadline = deadline
+	w.cost = cost
+	w.submitted = submitted
+	w.cancelled = false
+	w.grantedAt = 0
+	return w
+}
+
 // edfHeap orders waiters by (deadline, seq); deadline 0 sorts last.
 type edfHeap []*waiter
 
@@ -178,12 +200,7 @@ func (s *Scheduler) Now() time.Duration { return time.Since(s.epoch) }
 // load deadlock-free on small pools. On context cancellation the task
 // leaves the queue and Acquire returns the context's error.
 func (s *Scheduler) Acquire(ctx context.Context, t Task) (int, error) {
-	w := &waiter{
-		deadline:  t.Deadline,
-		cost:      t.Cost,
-		grant:     make(chan int, 1),
-		submitted: s.Now(),
-	}
+	w := getWaiter(t.Deadline, t.Cost, s.Now())
 	s.mu.Lock()
 	w.seq = s.seq
 	s.seq++
@@ -201,13 +218,20 @@ func (s *Scheduler) Acquire(ctx context.Context, t Task) (int, error) {
 	s.mu.Lock()
 	select {
 	case idx := <-w.grant:
+		delete(s.running, idx)
 		s.free = append(s.free, idx)
 		s.dispatch()
+		waiterPool.Put(w)
 	default:
 		w.cancelled = true
 		if w.index >= 0 && w.index < len(s.queue) && s.queue[w.index] == w {
 			heap.Remove(&s.queue, w.index)
+			waiterPool.Put(w)
 		}
+		// Not in the queue and not granted cannot happen under mu (a
+		// popped waiter has its grant sent before mu is released), but if
+		// it ever did, the cancelled flag makes dispatch drop the waiter
+		// and the pool simply forgets it — never a double-put.
 	}
 	s.mu.Unlock()
 	return 0, ctx.Err()
@@ -228,6 +252,7 @@ func (s *Scheduler) Release(idx int) {
 		s.modeled += w.cost
 		s.waits.add((w.grantedAt - w.submitted).Seconds())
 		s.lats.add((now - w.submitted).Seconds())
+		waiterPool.Put(w)
 	}
 	s.free = append(s.free, idx)
 	s.dispatch()

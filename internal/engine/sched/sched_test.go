@@ -261,3 +261,66 @@ func TestSchedulerEDFGrantOrder(t *testing.T) {
 		t.Fatalf("grant order %v, want %v", got, want)
 	}
 }
+
+// TestSchedulerAcquireReleaseAllocFree pins the waiter pooling: an
+// uncontended Acquire/Release round trip allocates nothing steady-state
+// (the stat reservoirs stop growing at their cap; amortized slice growth
+// before that is the fractional slack). The cascade's coarse tier issues
+// one such round trip per target per read, so a fresh waiter per call
+// would put thousands of allocations back on the per-read hot path.
+func TestSchedulerAcquireReleaseAllocFree(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ { // warm the pool and the running map
+		idx, err := s.Acquire(context.Background(), Task{Cost: time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Release(idx)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		idx, err := s.Acquire(context.Background(), Task{Cost: time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Release(idx)
+	})
+	if allocs > 0.5 {
+		t.Fatalf("Acquire/Release allocates %.2f/op, want ~0 (pooled waiters)", allocs)
+	}
+}
+
+// TestSchedulerCancelRecyclesWaiter: cancellation paths return waiters
+// to the pool without corrupting the queue — after a burst of cancelled
+// Acquires the scheduler still grants and accounts normally.
+func TestSchedulerCancelRecyclesWaiter(t *testing.T) {
+	s := New(1)
+	idx, err := s.Acquire(context.Background(), Task{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if _, err := s.Acquire(ctx, Task{}); err == nil {
+				t.Error("cancelled Acquire returned no error")
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	s.Release(idx)
+	for i := 0; i < 20; i++ {
+		idx, err := s.Acquire(context.Background(), Task{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Release(idx)
+	}
+	if st := s.Stats(); st.Completed != 21 {
+		t.Fatalf("completed %d, want 21 (cancelled waiters must not count)", st.Completed)
+	}
+}

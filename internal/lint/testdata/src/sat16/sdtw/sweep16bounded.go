@@ -1,0 +1,21 @@
+package sdtw
+
+// Fixture double of the early-abandoning bounded sweep
+// (internal/sdtw/sweep16bounded.go): the basename contains "16", so the
+// bounded kernel is in sat16's scope exactly like the unbounded one —
+// pinned here so a rename or scope change that silently drops it from
+// the audit fails this fixture.
+
+// boundedRow mixes the bounded sweep's idioms: int32 register math with
+// clamp-on-store is legal, the lower-bound arithmetic stays in int64,
+// and a raw int16 shortcut on the row minimum is flagged.
+func boundedRow(cost []int16, rowMin int16, drop int64, cut int64, v int32) bool {
+	c := sat16(v)
+	cost[0] = int16(c) // ok: narrowed ident was assigned from sat16
+
+	bad := rowMin - cost[0] // want `raw int16 arithmetic`
+	_ = bad
+
+	// The admissible bound compares in wide integers — no 16-bit compute.
+	return int64(rowMin)-drop > cut
+}

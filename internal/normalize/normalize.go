@@ -129,12 +129,23 @@ func QuantizeInt(x int16, mean, mad int32) int8 {
 // ApplyInt8 runs the full integer normalization pipeline over a window of
 // ADC codes. This is the functional reference for the hardware normalizer.
 func ApplyInt8(x []int16) []int8 {
-	mean, mad := IntStats(x)
-	out := make([]int8, len(x))
-	for i, v := range x {
-		out[i] = QuantizeInt(v, mean, mad)
+	return ApplyInt8Into(make([]int8, len(x)), x)
+}
+
+// ApplyInt8Into is ApplyInt8 writing into dst, reallocating only when
+// dst's capacity is too small; it returns the len(x)-sized result slice.
+// Repeated-normalization paths (the cascade's per-read coarse queries)
+// use it to stay allocation-free with pooled scratch.
+func ApplyInt8Into(dst []int8, x []int16) []int8 {
+	if cap(dst) < len(x) {
+		dst = make([]int8, len(x))
 	}
-	return out
+	dst = dst[:len(x)]
+	mean, mad := IntStats(x)
+	for i, v := range x {
+		dst[i] = QuantizeInt(v, mean, mad)
+	}
+	return dst
 }
 
 // QuantizeFloat converts a float z-score (already normalized) to the same

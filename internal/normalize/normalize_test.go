@@ -216,3 +216,38 @@ func TestQuantizeSliceBounds(t *testing.T) {
 		}
 	}
 }
+
+// TestApplyInt8IntoMatchesAndReuses: the Into form is value-identical to
+// ApplyInt8, reuses a big-enough dst in place, and is allocation-free on
+// reuse.
+func TestApplyInt8IntoMatchesAndReuses(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(300)
+		x := make([]int16, n)
+		for i := range x {
+			x[i] = int16(rng.Intn(1024))
+		}
+		want := ApplyInt8(x)
+		dst := make([]int8, 0, 512)
+		got := ApplyInt8Into(dst, x)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d != %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: sample %d: %d != %d", trial, i, got[i], want[i])
+			}
+		}
+		if n > 0 && &got[:1][0] != &dst[:1][0] {
+			t.Fatalf("trial %d: Into reallocated despite sufficient capacity", trial)
+		}
+	}
+	x := make([]int16, 1000)
+	dst := make([]int8, 0, 1000)
+	if allocs := testing.AllocsPerRun(50, func() {
+		dst = ApplyInt8Into(dst, x)
+	}); allocs > 0 {
+		t.Fatalf("ApplyInt8Into allocates %.1f/op on reused scratch", allocs)
+	}
+}

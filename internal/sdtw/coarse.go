@@ -1,6 +1,9 @@
 package sdtw
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // CoarseScorer is the cascade's coarse-tier entry point: one decimated
 // query scored against a whole panel of decimated references with the
@@ -65,4 +68,17 @@ func (cs *CoarseScorer) Score(query []int8, i int) IntResult {
 	clear(view.Cost)
 	clear(view.Run)
 	return ExtendShard16(&view, query, ref, cs.cfg, nil, nil)
+}
+
+// ScoreBounded is Score under an admissible early-abandon cut (see
+// ExtendShard16Bounded): when the returned verdict is not Pruned its
+// IntResult is bit-identical to Score's, and when it is Pruned the exact
+// cost provably exceeded cut at abandonment time. A nil cut never prunes.
+func (cs *CoarseScorer) ScoreBounded(query []int8, i int, cut *atomic.Int64) BoundedResult {
+	ref := cs.ref(i)
+	m := len(ref)
+	view := Row16{Cost: cs.scratch.Cost[:m], Run: cs.scratch.Run[:m]}
+	clear(view.Cost)
+	clear(view.Run)
+	return ExtendShard16Bounded(&view, query, ref, cs.cfg, cut)
 }

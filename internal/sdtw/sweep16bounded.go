@@ -1,0 +1,108 @@
+package sdtw
+
+// The early-abandoning 16-bit sweep: ExtendShard16's single-shard form
+// with an admissible lower bound checked after every query sample, so a
+// reference that can no longer beat the caller's cut stops paying for DP
+// it cannot win. The per-cell strips are the audited sweep16.go ones —
+// every row runs sweepRowBest16, which stores exactly the cells
+// sweepRow16 would and tracks their minimum for free — so this file adds
+// only the per-row driver, which sits in the bounds-check audit
+// (scripts/check_bce.sh) alongside the strips.
+//
+// The bound (DESIGN.md §11): the recurrence's only cost-decreasing term
+// is the match bonus, a diagonal step's credit is bonus*run with the run
+// counter capped at BonusCap — and the run resets to 1 on the very step
+// that cashes it, rebuilding only through up-steps that cash nothing.
+// Along any path over the r remaining samples the credits telescope:
+// the first diagonal step spends at most the inherited run's bonus*cap,
+// every later one at most bonus*(1 + credit-free steps since the
+// previous), for a total of at most bonus*(cap-1) + bonus*r
+// (futureDrop16, int16.go). The saturating clamps only ever raise a
+// value or pin it at sat16Max, which exceeds any row minimum, so every
+// final cost is at least rowMin - (base + slope*r). When that exceeds
+// the cut, no final cost from this reference can be <= cut: the verdict
+// "pruned" certifies the exact cost would have missed the cut, it never
+// guesses.
+
+import "sync/atomic"
+
+// BoundedResult is ExtendShard16Bounded's verdict. When Pruned is false
+// the embedded IntResult is bit-identical to ExtendShard16 on the same
+// inputs; when Pruned is true the reference was abandoned early (its
+// exact final cost provably exceeds the cut at abandonment time) and the
+// IntResult carries no cost information (EndPos -1). Samples counts the
+// query samples actually consumed — the DP rows paid for — in both
+// cases.
+type BoundedResult struct {
+	IntResult
+	Pruned  bool
+	Samples int
+}
+
+// ExtendShard16Bounded runs the single-shot 16-bit alignment of query
+// against refShard, abandoning it as soon as the admissible lower bound
+// rowMin - futureDrop16(remaining) exceeds cut's current value. cut is
+// loaded fresh at every row, so a concurrently tightening cut
+// (the cascade's shared running top-k cut) prunes progressively harder;
+// a nil cut never prunes, making the call equivalent to ExtendShard16
+// with nil halos. The shard is single-shot state exactly as in
+// CoarseScorer: callers pass a cleared boundary row.
+func ExtendShard16Bounded(shard *Row16, query []int8, refShard []int8, cfg IntConfig, cut *atomic.Int64) BoundedResult {
+	m := len(refShard)
+	if m != shard.Len() {
+		panic("sdtw: shard/reference length mismatch")
+	}
+	if m == 0 {
+		return BoundedResult{IntResult: IntResult{EndPos: -1}}
+	}
+	if cut == nil {
+		r := ExtendShard16(shard, query, refShard, cfg, nil, nil)
+		return BoundedResult{IntResult: r, Samples: len(query)}
+	}
+	cost, run, ref := shard.Cost[:m], shard.Run[:m], refShard[:m]
+	bonus, cap_ := bonusTerms16(cfg)
+	one := boolToInt32(cap_ > 0)
+	base, slope := futureDrop16(bonus, cap_)
+	n := len(query)
+	if n == 0 {
+		return BoundedResult{IntResult: scanBest16(cost)}
+	}
+	for t := 0; t < n; t++ {
+		q := int32(query[t])
+		diagCost, diagRun := int32(cost[0]), int32(run[0])
+		d := q - int32(ref[0])
+		if d < 0 {
+			d = -d
+		}
+		c0 := sat16(diagCost + d)
+		cost[0] = int16(c0)
+		if diagRun < cap_ {
+			run[0] = int8(diagRun + 1)
+		}
+		// sweepRowBest16 covers columns [1, m) and reports their minimum;
+		// merging column 0 with the same c0-wins-ties rule as
+		// ExtendShard16's final row makes rowBest both the row minimum the
+		// bound needs and, on the last sample, the exact result.
+		bc, bp := sweepRowBest16(cost, run, ref, q, diagCost, diagRun, bonus, cap_, one)
+		rowBest := IntResult{Cost: c0, EndPos: 0}
+		if bc < c0 {
+			rowBest = IntResult{Cost: bc, EndPos: bp}
+		}
+		if t == n-1 {
+			shard.Samples += n
+			return BoundedResult{IntResult: rowBest, Samples: n}
+		}
+		// remaining samples after this row; int64 math so a huge cut
+		// (e.g. the not-yet-seeded MaxInt64 sentinel) can never overflow
+		// the comparison into a false prune.
+		if remaining := int64(n - 1 - t); int64(rowBest.Cost)-base-slope*remaining > cut.Load() {
+			shard.Samples += t + 1
+			return BoundedResult{
+				IntResult: IntResult{EndPos: -1},
+				Pruned:    true,
+				Samples:   t + 1,
+			}
+		}
+	}
+	panic("sdtw: unreachable") // the t == n-1 arm always returns
+}

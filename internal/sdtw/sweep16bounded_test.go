@@ -1,0 +1,227 @@
+package sdtw
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// boundedCfgs spans the configurations the admissibility argument must
+// survive: the paper default, bonus-free, cap-free, a cap above the
+// int8 clamp, and the degenerate negative values maxRowDrop16 floors to
+// zero drop.
+func boundedCfgs() []IntConfig {
+	return []IntConfig{
+		DefaultIntConfig(),
+		{MatchBonus: 0, BonusCap: 10},
+		{MatchBonus: 10, BonusCap: 0},
+		{MatchBonus: 3, BonusCap: 1},
+		{MatchBonus: 1, BonusCap: 200}, // cap clamps to MaxInt8
+		{MatchBonus: -5, BonusCap: 10}, // negative bonus only ever adds
+		{MatchBonus: 10, BonusCap: -3}, // negative cap pins runs at 0
+	}
+}
+
+func randSignal16(rng *rand.Rand, n int) []int8 {
+	out := make([]int8, n)
+	for i := range out {
+		out[i] = int8(rng.Intn(255) - 127)
+	}
+	return out
+}
+
+func staticCut(v int64) *atomic.Int64 {
+	var c atomic.Int64
+	c.Store(v)
+	return &c
+}
+
+// TestBounded16NilCutMatchesUnbounded: with no cut the bounded sweep is
+// ExtendShard16 — identical result, identical stored row, full sample
+// count.
+func TestBounded16NilCutMatchesUnbounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 200; trial++ {
+		cfg := boundedCfgs()[trial%len(boundedCfgs())]
+		m := 1 + rng.Intn(60)
+		n := rng.Intn(50)
+		ref := randSignal16(rng, m)
+		q := randSignal16(rng, n)
+		want := NewRow16(m)
+		wantRes := ExtendShard16(want, q, ref, cfg, nil, nil)
+		got := NewRow16(m)
+		gotRes := ExtendShard16Bounded(got, q, ref, cfg, nil)
+		if gotRes.Pruned || gotRes.Samples != n || gotRes.IntResult != wantRes {
+			t.Fatalf("trial %d: nil-cut bounded %+v != unbounded %+v", trial, gotRes, wantRes)
+		}
+	}
+}
+
+// TestBounded16Admissibility is the property the whole early-abandoning
+// tier rests on, against the unbounded kernel: for any cut, not-pruned
+// means a bit-identical result (cells and verdict) and pruned means the
+// exact cost provably exceeded the cut. A cut at or above the exact cost
+// must therefore never prune.
+func TestBounded16Admissibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	pruned := 0
+	for trial := 0; trial < 1500; trial++ {
+		cfg := boundedCfgs()[rng.Intn(len(boundedCfgs()))]
+		m := 1 + rng.Intn(80)
+		n := 1 + rng.Intn(60)
+		ref := randSignal16(rng, m)
+		q := randSignal16(rng, n)
+		exactRow := NewRow16(m)
+		exact := ExtendShard16(exactRow, q, ref, cfg, nil, nil)
+
+		// Cuts straddling the exact cost, plus the exact cost itself and
+		// the unseeded MaxInt64 sentinel.
+		cuts := []int64{
+			int64(exact.Cost) - 1 - int64(rng.Intn(2000)),
+			int64(exact.Cost) - 1,
+			int64(exact.Cost),
+			int64(exact.Cost) + int64(rng.Intn(2000)),
+			math.MaxInt64,
+		}
+		for _, cut := range cuts {
+			row := NewRow16(m)
+			got := ExtendShard16Bounded(row, q, ref, cfg, staticCut(cut))
+			if got.Pruned {
+				pruned++
+				if int64(exact.Cost) <= cut {
+					t.Fatalf("trial %d: inadmissible prune: exact cost %d <= cut %d (cfg %+v, m=%d n=%d)",
+						trial, exact.Cost, cut, cfg, m, n)
+				}
+				if got.Samples <= 0 || got.Samples >= n {
+					t.Fatalf("trial %d: pruned after %d of %d samples", trial, got.Samples, n)
+				}
+				continue
+			}
+			if got.IntResult != exact || got.Samples != n {
+				t.Fatalf("trial %d: survivor %+v != exact %+v (cut %d)", trial, got, exact, cut)
+			}
+			for j := range row.Cost {
+				if row.Cost[j] != exactRow.Cost[j] || row.Run[j] != exactRow.Run[j] {
+					t.Fatalf("trial %d: survivor row diverges at column %d", trial, j)
+				}
+			}
+			if cut >= int64(exact.Cost) {
+				continue
+			}
+			// cut below the exact cost and still not pruned is legal (the
+			// bound is a lower bound, not exact) — nothing more to check.
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("no trial ever pruned; the property test exercised nothing")
+	}
+}
+
+// TestBounded16RowMinDropLemma pins the per-row step of the proof
+// directly: consuming one query sample lowers the stored row minimum by
+// at most maxRowDrop16(bonus, cap) — the quantity the bound charges per
+// remaining sample.
+func TestBounded16RowMinDropLemma(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	rowMin := func(r *Row16) int64 {
+		min := int64(math.MaxInt64)
+		for _, c := range r.Cost {
+			if int64(c) < min {
+				min = int64(c)
+			}
+		}
+		return min
+	}
+	for trial := 0; trial < 300; trial++ {
+		cfg := boundedCfgs()[trial%len(boundedCfgs())]
+		bonus, cap_ := bonusTerms16(cfg)
+		drop := maxRowDrop16(bonus, cap_)
+		m := 1 + rng.Intn(50)
+		ref := randSignal16(rng, m)
+		row := NewRow16(m)
+		prev := rowMin(row)
+		for s := 0; s < 40; s++ {
+			Extend16(row, []int8{int8(rng.Intn(255) - 127)}, ref, cfg)
+			cur := rowMin(row)
+			if cur < prev-drop {
+				t.Fatalf("trial %d sample %d: row min dropped %d -> %d, more than the admissible %d (cfg %+v)",
+					trial, s, prev, cur, drop, cfg)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestBounded16FutureDropLemma pins the amortized multi-row refinement
+// the shipped bound actually charges: over any window of r consecutive
+// query samples the stored row minimum drops by at most futureDrop16's
+// base + slope*r — a factor ~cap tighter than r*maxRowDrop16, because a
+// diagonal step's bonus*run credit resets the run it cashed and rebuilds
+// it only through credit-free up-steps. The query is biased toward
+// matching the reference so runs actually build and credits actually
+// cash — the adversarial direction for the lemma.
+func TestBounded16FutureDropLemma(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	rowMin := func(r *Row16) int64 {
+		min := int64(math.MaxInt64)
+		for _, c := range r.Cost {
+			if int64(c) < min {
+				min = int64(c)
+			}
+		}
+		return min
+	}
+	for trial := 0; trial < 200; trial++ {
+		cfg := boundedCfgs()[trial%len(boundedCfgs())]
+		bonus, cap_ := bonusTerms16(cfg)
+		base, slope := futureDrop16(bonus, cap_)
+		m := 1 + rng.Intn(50)
+		ref := randSignal16(rng, m)
+		row := NewRow16(m)
+		const steps = 48
+		mins := make([]int64, steps+1)
+		mins[0] = rowMin(row)
+		for s := 0; s < steps; s++ {
+			var qs int8
+			if rng.Intn(4) > 0 {
+				qs = ref[rng.Intn(m)]
+			} else {
+				qs = int8(rng.Intn(255) - 127)
+			}
+			Extend16(row, []int8{qs}, ref, cfg)
+			mins[s+1] = rowMin(row)
+		}
+		for t0 := 0; t0 <= steps; t0++ {
+			for r := 1; t0+r <= steps; r++ {
+				if mins[t0+r] < mins[t0]-(base+slope*int64(r)) {
+					t.Fatalf("trial %d: row min dropped %d -> %d over %d samples, more than the admissible %d (cfg %+v)",
+						trial, mins[t0], mins[t0+r], r, base+slope*int64(r), cfg)
+				}
+			}
+		}
+	}
+}
+
+// TestBounded16EmptyQueryAndShortRef covers the degenerate shapes: a
+// zero-sample extension scans the boundary row, and a one-column
+// reference exercises the column-0-only merge path.
+func TestBounded16EmptyQueryAndShortRef(t *testing.T) {
+	cfg := DefaultIntConfig()
+	row := NewRow16(3)
+	got := ExtendShard16Bounded(row, nil, []int8{1, 2, 3}, cfg, staticCut(0))
+	if got.Pruned || got.IntResult != scanBest16(row.Cost) {
+		t.Fatalf("empty query: %+v", got)
+	}
+	rng := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 50; trial++ {
+		q := randSignal16(rng, 1+rng.Intn(20))
+		ref := randSignal16(rng, 1)
+		exact := IntDP16(q, ref, cfg)
+		gotRow := NewRow16(1)
+		got := ExtendShard16Bounded(gotRow, q, ref, cfg, staticCut(math.MaxInt64))
+		if got.Pruned || got.IntResult != exact {
+			t.Fatalf("trial %d: m=1 bounded %+v != exact %+v", trial, got, exact)
+		}
+	}
+}

@@ -47,12 +47,32 @@ func DecimateInt16(x []int16, factor int) []int16 {
 	if len(x) == 0 {
 		return nil
 	}
-	if factor <= 1 {
-		out := make([]int16, len(x))
-		copy(out, x)
-		return out
+	return DecimateInt16Into(nil, x, factor)
+}
+
+// DecimateInt16Into is DecimateInt16 writing into dst, reallocating only
+// when dst's capacity is too small; it returns the ceil(len(x)/factor)-
+// sized result slice (len(x) when factor <= 1). The cascade's coarse
+// tier decimates the same read prefix once per dwell hypothesis, so the
+// Into form keeps that per-read loop allocation-free with pooled
+// scratch. dst must not alias x.
+func DecimateInt16Into(dst, x []int16, factor int) []int16 {
+	if len(x) == 0 {
+		return dst[:0]
 	}
-	out := make([]int16, (len(x)+factor-1)/factor)
+	if factor <= 1 {
+		if cap(dst) < len(x) {
+			dst = make([]int16, len(x))
+		}
+		dst = dst[:len(x)]
+		copy(dst, x)
+		return dst
+	}
+	n := (len(x) + factor - 1) / factor
+	if cap(dst) < n {
+		dst = make([]int16, n)
+	}
+	out := dst[:n]
 	for i := range out {
 		lo := i * factor
 		hi := lo + factor

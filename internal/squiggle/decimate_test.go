@@ -133,3 +133,39 @@ func TestDecimateInt16ComposesOnConstants(t *testing.T) {
 		}
 	}
 }
+
+// TestDecimateInt16IntoMatchesAndReuses: the Into form is value-identical
+// to DecimateInt16 for every factor, reuses a big-enough dst without
+// reallocating, and is allocation-free on reuse.
+func TestDecimateInt16IntoMatchesAndReuses(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(300)
+		factor := rng.Intn(20) - 2 // include <= 1
+		x := make([]int16, n)
+		for i := range x {
+			x[i] = int16(rng.Intn(1024))
+		}
+		want := DecimateInt16(x, factor)
+		dst := make([]int16, 0, 512)
+		got := DecimateInt16Into(dst, x, factor)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d != %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: sample %d: %d != %d", trial, i, got[i], want[i])
+			}
+		}
+		if n > 0 && &got[:1][0] != &dst[:1][0] {
+			t.Fatalf("trial %d: Into reallocated despite sufficient capacity", trial)
+		}
+	}
+	x := make([]int16, 1000)
+	dst := make([]int16, 0, 1000)
+	if allocs := testing.AllocsPerRun(50, func() {
+		dst = DecimateInt16Into(dst, x, 8)
+	}); allocs > 0 {
+		t.Fatalf("DecimateInt16Into allocates %.1f/op on reused scratch", allocs)
+	}
+}

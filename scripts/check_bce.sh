@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Bounds-check audit for the sDTW hot strips: the register-resident
-# recurrence in sweep.go and sweep16.go is written in the slice-advance
-# form precisely so the compiler's prove pass eliminates every per-cell
+# recurrence in sweep.go, sweep16.go, and sweep16bounded.go (the
+# early-abandoning coarse driver) is written in the slice-advance form
+# precisely so the compiler's prove pass eliminates every per-cell
 # bounds check; this script fails CI if one ever comes back (a refactor
 # re-introducing a shared induction variable is the usual culprit).
 # coarse.go rides along: its panel indexing sits on the cascade's
@@ -22,7 +23,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-audited='(sweep(16)?|coarse)\.go'
+audited='(sweep(16)?(bounded)?|coarse)\.go'
 
 audit() {
   local out hits
