@@ -14,8 +14,10 @@
 // lower-is-better (e.g. dpsamples/read) and the new value must be at most
 // (1 + tolerance) times the old. A matching benchmark that disappeared
 // from the new run also fails, so the ratchet cannot be dodged by
-// deleting the benchmark. New benchmarks absent from the baseline pass —
-// they become the next run's baseline.
+// deleting the benchmark — and one that still runs but stopped reporting
+// the ratcheted metric fails naming that metric, so it cannot be dodged
+// by dropping the ReportMetric call either. New benchmarks absent from
+// the baseline pass — they become the next run's baseline.
 //
 // Exit status: 0 when every ratcheted benchmark holds, 1 on regression,
 // 2 on usage or parse errors. CI skips the ratchet when the pull request
@@ -107,7 +109,12 @@ func parseBenchLine(line string) (string, map[string]float64, bool) {
 type regression struct {
 	name     string
 	old, new float64 // new is NaN-free: 0 means the benchmark disappeared
-	missing  bool
+	// missing: the whole benchmark vanished from the new run.
+	// missingMetric: the benchmark ran but no longer reports the ratcheted
+	// metric — without this distinction a dropped ReportMetric call would
+	// read as 0, which under -lower silently passes the ratchet.
+	missing       bool
+	missingMetric bool
 }
 
 // compare ratchets every baseline benchmark matching pattern: the new
@@ -129,7 +136,11 @@ func compare(old, new benchTable, pattern *regexp.Regexp, metric string, toleran
 			bad = append(bad, regression{name: name, old: oldV, missing: true})
 			continue
 		}
-		newV := newMetrics[metric]
+		newV, ok := newMetrics[metric]
+		if !ok {
+			bad = append(bad, regression{name: name, old: oldV, missingMetric: true})
+			continue
+		}
 		regressed := newV < oldV*(1-tolerance)
 		if lower {
 			regressed = newV > oldV*(1+tolerance)
@@ -193,6 +204,8 @@ func main() {
 			switch {
 			case r.missing:
 				fmt.Fprintf(os.Stderr, "  %s: missing from the new run (baseline %.4g)\n", r.name, r.old)
+			case r.missingMetric:
+				fmt.Fprintf(os.Stderr, "  %s: ran but no longer reports %s (baseline %.4g)\n", r.name, *metric, r.old)
 			case *lower:
 				fmt.Fprintf(os.Stderr, "  %s: %.4g -> %.4g (%.1f%% rise)\n", r.name, r.old, r.new, 100*(r.new/r.old-1))
 			default:

@@ -120,3 +120,33 @@ func TestCompareLowerIsBetter(t *testing.T) {
 		t.Fatalf("bad=%+v, want one missing-benchmark violation", bad)
 	}
 }
+
+// TestCompareMissingMetric: a benchmark that still runs but stopped
+// reporting the ratcheted metric must fail naming that metric — before
+// this check the absent metric read as 0, which under -lower is the
+// best possible value and silently passed the ratchet.
+func TestCompareMissingMetric(t *testing.T) {
+	re := regexp.MustCompile("^BenchmarkCascade1000")
+	old := mustTable(t, "BenchmarkCascade1000-2 1 1 ns/op 85000 dpsamples/read\n")
+
+	// The benchmark is present in the new run, ns/op and all — only the
+	// ratcheted metric vanished.
+	cur := mustTable(t, "BenchmarkCascade1000-2 1 1 ns/op 123 othermetric\n")
+	for _, lower := range []bool{true, false} {
+		_, bad := compare(old, cur, re, "dpsamples/read", 0.10, lower)
+		if len(bad) != 1 || !bad[0].missingMetric || bad[0].missing {
+			t.Fatalf("lower=%v: bad=%+v, want one missing-metric violation", lower, bad)
+		}
+		if bad[0].old != 85000 {
+			t.Fatalf("lower=%v: missing-metric violation lost the baseline value: %+v", lower, bad[0])
+		}
+	}
+
+	// Still reporting the metric at the same value: holds, both modes.
+	cur = mustTable(t, "BenchmarkCascade1000-2 1 1 ns/op 85000 dpsamples/read\n")
+	for _, lower := range []bool{true, false} {
+		if _, bad := compare(old, cur, re, "dpsamples/read", 0.10, lower); len(bad) != 0 {
+			t.Fatalf("lower=%v: unchanged metric flagged: %+v", lower, bad)
+		}
+	}
+}

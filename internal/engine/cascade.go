@@ -194,15 +194,35 @@ type Cascade struct {
 	// abandon.
 	seedOrder []int32
 	// The persistent coarse worker set: helpers park on work and drain
-	// whatever pass is handed to them, so scoring a read spawns no
-	// goroutines. quit (closed by Close) releases them; sends are
-	// non-blocking, so a busy or released helper set just means the
-	// pass's caller drains more targets itself.
-	work      chan *coarsePass
-	quit      chan struct{}
-	spawn     sync.Once
-	closeOnce sync.Once
-	helpers   sync.WaitGroup
+	// whatever job is handed to them — a per-read coarsePass or a
+	// multi-read batchPass — so scoring spawns no goroutines. quit
+	// (closed by Close) releases them; sends are non-blocking, so a busy
+	// or released helper set just means the job's caller drains more
+	// targets itself.
+	work chan coarseJob
+	quit chan struct{}
+	// lifeMu serializes helper spawning against Close: the WaitGroup Adds
+	// in spawnHelpers must never race Close's Wait, and a spawn attempt
+	// landing after Close must be a no-op instead of leaking goroutines
+	// into a closed cascade.
+	lifeMu  sync.Mutex
+	spawned bool
+	closed  bool
+	helpers sync.WaitGroup
+	// Batched-pass pools, the batch twins of scorers/passes: one
+	// batchScorer per participant (lane-slot rows sized to the longest
+	// coarse reference), one batchPass per in-flight flush.
+	batchScorers sync.Pool
+	batchPasses  sync.Pool
+	maxCoarse    int
+}
+
+// coarseJob is the unit the persistent helper set drains: either a
+// per-read coarsePass or a multi-read batchPass. finishOne signs a
+// borrowed helper back off the job's WaitGroup.
+type coarseJob interface {
+	drain()
+	finishOne()
 }
 
 // NewCascade builds a cascade in front of panel. coarseRefs holds the
@@ -247,6 +267,12 @@ func NewCascade(panel *Panel, coarseRefs [][]int8, icfg sdtw.IntConfig, cfg Casc
 		}
 		return seed[a] < seed[b]
 	})
+	maxCoarse := 0
+	for _, ref := range coarseRefs {
+		if len(ref) > maxCoarse {
+			maxCoarse = len(ref)
+		}
+	}
 	c := &Cascade{
 		panel:     panel,
 		cfg:       cfg,
@@ -255,8 +281,9 @@ func NewCascade(panel *Panel, coarseRefs [][]int8, icfg sdtw.IntConfig, cfg Casc
 		sch:       sched.New(workers),
 		workers:   workers,
 		seedOrder: seed,
-		work:      make(chan *coarsePass),
+		work:      make(chan coarseJob),
 		quit:      make(chan struct{}),
+		maxCoarse: maxCoarse,
 	}
 	c.scorers.New = func() any {
 		s, err := sdtw.NewCoarseScorer(coarseRefs, icfg)
@@ -277,36 +304,49 @@ func (c *Cascade) Panel() *Panel { return c.panel }
 // Close releases the persistent coarse workers. Call it when the cascade
 // is done serving reads; outstanding sessions should finish first (a
 // pass in flight when Close lands still completes — its caller always
-// drains — but may run with less parallelism). Close is idempotent, and
-// a cascade that never scored has nothing to release.
+// drains — but may run with less parallelism). Close is idempotent and
+// safe concurrently with in-flight passes and with other Close calls:
+// lifeMu orders it against spawnHelpers, so either the helpers were
+// fully spawned before the Wait below (and the closed quit channel
+// releases them) or the spawn attempt observes closed and starts
+// nothing. Every Close returns only once the helper set has exited.
 func (c *Cascade) Close() {
-	c.closeOnce.Do(func() {
+	c.lifeMu.Lock()
+	if !c.closed {
+		c.closed = true
 		close(c.quit)
-		c.helpers.Wait()
-	})
+	}
+	c.lifeMu.Unlock()
+	c.helpers.Wait()
 }
 
 // spawnHelpers starts the persistent worker set on first use: workers-1
 // helper goroutines that live until Close, each parking on the work
-// channel between passes. The pass's caller is the final worker.
+// channel between jobs. The job's caller is the final worker. After
+// Close this is a no-op — the WaitGroup Adds happen under lifeMu, so
+// they can never race Close's Wait on a possibly-zero counter.
 func (c *Cascade) spawnHelpers() {
-	c.spawn.Do(func() {
-		for i := 0; i < c.workers-1; i++ {
-			c.helpers.Add(1)
-			go func() {
-				defer c.helpers.Done()
-				for {
-					select {
-					case <-c.quit:
-						return
-					case p := <-c.work:
-						p.drain()
-						p.wg.Done()
-					}
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
+	if c.spawned || c.closed {
+		return
+	}
+	c.spawned = true
+	for i := 0; i < c.workers-1; i++ {
+		c.helpers.Add(1)
+		go func() {
+			defer c.helpers.Done()
+			for {
+				select {
+				case <-c.quit:
+					return
+				case j := <-c.work:
+					j.drain()
+					j.finishOne()
 				}
-			}()
-		}
-	})
+			}
+		}()
+	}
 }
 
 // coarseServiceTime models one coarse score's DP time from the 16-bit
@@ -533,28 +573,48 @@ func (p *coarsePass) drain() {
 	c.scorers.Put(s)
 }
 
+// finishOne signs a borrowed helper off the pass.
+func (p *coarsePass) finishOne() { p.wg.Done() }
+
+// fanOut offers the job to up to extra parked helpers, tracked on wg.
+// Sends are non-blocking: a helper set that is busy with other reads —
+// or already released by Close — simply doesn't join, and the job's
+// caller drains the difference itself.
+func (c *Cascade) fanOut(j coarseJob, extra int, wg *sync.WaitGroup) {
+	if extra <= 0 {
+		return
+	}
+	c.spawnHelpers()
+	for i := 0; i < extra; i++ {
+		wg.Add(1)
+		select {
+		case c.work <- j:
+		default:
+			wg.Add(-1)
+		}
+	}
+}
+
+// extraParticipants is how many helpers a job over n targets is worth
+// recruiting: the caller is always one participant, and more participants
+// than targets would just contend.
+func (c *Cascade) extraParticipants(n int) int {
+	if c.workers <= 1 || n <= 1 {
+		return 0
+	}
+	extra := c.workers - 1
+	if extra > n-1 {
+		extra = n - 1
+	}
+	return extra
+}
+
 // runPass scores the armed hypothesis against every target, fanning the
 // work across the persistent helper set, and returns the first error a
 // participant hit (context cancellation in Acquire). The caller always
-// participates and always sees the pass through; helpers that are busy
-// with other reads — or already released by Close — simply don't join.
+// participates and always sees the pass through.
 func (c *Cascade) runPass(p *coarsePass) error {
-	n := len(c.coarse)
-	if c.workers > 1 && n > 1 {
-		c.spawnHelpers()
-		helpers := c.workers - 1
-		if helpers > n-1 {
-			helpers = n - 1
-		}
-		for i := 0; i < helpers; i++ {
-			p.wg.Add(1)
-			select {
-			case c.work <- p:
-			default:
-				p.wg.Add(-1)
-			}
-		}
-	}
+	c.fanOut(p, c.extraParticipants(len(c.coarse)), &p.wg)
 	p.drain()
 	p.wg.Wait()
 	return p.takeErr()
@@ -659,6 +719,15 @@ type CascadeSession struct {
 	c     *Cascade
 	ctx   context.Context
 	prune PrunePolicy
+	// batch, when non-nil, is the inter-read batch group this session
+	// promotes through: instead of running its own coarse pass at the
+	// prefix crossing, the session pends until the group flushes
+	// (CascadeBatch.flush in cascadebatch.go) and is promoted there.
+	batch *CascadeBatch
+	// pending: the session has crossed the coarse prefix and sits in its
+	// batch group's pending list awaiting a flush. Guards feedChunk from
+	// re-registering the session on every later chunk.
+	pending bool
 	// buf accumulates raw samples until promotion; nil afterwards.
 	buf []int16
 	fed int
@@ -716,6 +785,16 @@ func (cs *CascadeSession) feedChunk(chunk []int16) bool {
 		if len(cs.buf) < cs.c.cfg.CoarsePrefix {
 			return false
 		}
+		if cs.batch != nil {
+			// Batched promotion: pend on the group; the flush that fills
+			// the batch (possibly this very call) promotes every pending
+			// lane and replays its buffer. Later chunks keep accumulating
+			// in buf while the session pends — the flush replays them all.
+			if cs.pending {
+				return false
+			}
+			return cs.batch.crossed(cs)
+		}
 		if err := cs.promote(); err != nil {
 			cs.abort(err)
 			return true
@@ -749,48 +828,69 @@ func (cs *CascadeSession) promote() error {
 	c := cs.c
 	n := len(c.panel.targets)
 	if c.cfg.TopK >= n || len(cs.buf) == 0 {
-		cs.surv = make([]int, n)
-		for i := range cs.surv {
-			cs.surv[i] = i
-		}
-	} else {
-		prefix := cs.buf
-		if len(prefix) > c.cfg.CoarsePrefix {
-			prefix = prefix[:c.cfg.CoarsePrefix]
-		}
-		// Score every dwell hypothesis and keep the union of each one's
-		// top-k: ranks are only meaningful within a hypothesis, and the
-		// hypothesis matching the read's true rate is the one that keeps
-		// the exact winner.
-		p := c.getPass(cs.ctx)
-		for _, qf := range c.cfg.queryFactors() {
-			p.eq = squiggle.DecimateInt16Into(p.eq, prefix, qf)
-			p.q = normalize.ApplyInt8Into(p.q, p.eq)
-			p.beginHypothesis(len(p.q))
-			if err := c.runPass(p); err != nil {
-				c.putPass(p)
-				return err
-			}
-			if c.cfg.RecordCoarseCosts {
-				row := make([]int32, n)
-				copy(row, p.costs)
-				cs.coarseCost = append(cs.coarseCost, row)
-			}
-			cs.coarseDP += p.samples.Load()
-			cs.coarseCells += p.cells.Load()
-			cs.coarsePruned += p.pruned.Load()
-			cs.coarseScorings += int64(n)
-			p.markSurvivors(len(p.q))
-		}
-		cs.scored = true
-		cs.surv = cs.surv[:0]
-		for i, k := range p.keep {
-			if k {
-				cs.surv = append(cs.surv, i)
-			}
-		}
-		c.putPass(p)
+		cs.allSurvive()
+	} else if err := cs.scorePrefix(); err != nil {
+		return err
 	}
+	cs.openInner()
+	return nil
+}
+
+// scorePrefix runs the sequential coarse pass over the buffered prefix:
+// every dwell hypothesis against every target, keeping the union of each
+// one's top-k — ranks are only meaningful within a hypothesis, and the
+// hypothesis matching the read's true rate is the one that keeps the
+// exact winner. The pooled pass returns on every path, error included.
+func (cs *CascadeSession) scorePrefix() error {
+	c := cs.c
+	n := len(c.panel.targets)
+	prefix := cs.buf
+	if len(prefix) > c.cfg.CoarsePrefix {
+		prefix = prefix[:c.cfg.CoarsePrefix]
+	}
+	p := c.getPass(cs.ctx)
+	defer c.putPass(p)
+	for _, qf := range c.cfg.queryFactors() {
+		p.eq = squiggle.DecimateInt16Into(p.eq, prefix, qf)
+		p.q = normalize.ApplyInt8Into(p.q, p.eq)
+		p.beginHypothesis(len(p.q))
+		if err := c.runPass(p); err != nil {
+			return err
+		}
+		if c.cfg.RecordCoarseCosts {
+			row := make([]int32, n)
+			copy(row, p.costs)
+			cs.coarseCost = append(cs.coarseCost, row)
+		}
+		cs.coarseDP += p.samples.Load()
+		cs.coarseCells += p.cells.Load()
+		cs.coarsePruned += p.pruned.Load()
+		cs.coarseScorings += int64(n)
+		p.markSurvivors(len(p.q))
+	}
+	cs.scored = true
+	cs.surv = cs.surv[:0]
+	for i, k := range p.keep {
+		if k {
+			cs.surv = append(cs.surv, i)
+		}
+	}
+	return nil
+}
+
+// allSurvive commits the trivial survivor set: every target. Used when
+// TopK covers the panel or there is no buffered evidence to prune on.
+func (cs *CascadeSession) allSurvive() {
+	n := len(cs.c.panel.targets)
+	cs.surv = make([]int, n)
+	for i := range cs.surv {
+		cs.surv[i] = i
+	}
+}
+
+// openInner opens the exact tier over the committed survivor set.
+func (cs *CascadeSession) openInner() {
+	c := cs.c
 	sub := make([]Target, len(cs.surv))
 	for j, i := range cs.surv {
 		sub[j] = c.panel.targets[i]
@@ -805,7 +905,6 @@ func (cs *CascadeSession) promote() error {
 		// probed at NewCascade.
 		panic(err)
 	}
-	return nil
 }
 
 // Finalize signals that the read ended. A read shorter than the coarse
@@ -816,14 +915,24 @@ func (cs *CascadeSession) Finalize() PanelResult {
 		return cs.snapshot()
 	}
 	if cs.inner == nil {
-		if err := cs.promote(); err != nil {
-			cs.abort(err)
-			return cs.snapshot()
-		}
-		buf := cs.buf
-		cs.buf = nil
-		if len(buf) > 0 {
-			cs.inner.feed(buf)
+		if cs.batch != nil {
+			// Flush the whole pending group, this session included:
+			// every pending lane has its full coarse evidence buffered,
+			// so promoting the group now commits exactly the survivor
+			// sets their own flushes would have.
+			if err := cs.batch.flushWith(cs); err != nil {
+				return cs.snapshot() // the flush aborted every pending lane
+			}
+		} else {
+			if err := cs.promote(); err != nil {
+				cs.abort(err)
+				return cs.snapshot()
+			}
+			buf := cs.buf
+			cs.buf = nil
+			if len(buf) > 0 {
+				cs.inner.feed(buf)
+			}
 		}
 	}
 	cs.inner.Finalize()

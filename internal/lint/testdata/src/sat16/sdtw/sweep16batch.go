@@ -1,0 +1,33 @@
+package sdtw
+
+// Fixture double of the interleaved multi-query batch strips
+// (internal/sdtw/sweep16batch.go): the basename contains "16", so the
+// batch driver is in sat16's scope exactly like the single-lane sweeps —
+// pinned here so a rename or scope change that silently drops it from
+// the audit fails this fixture.
+
+// batchStrip mixes the batch strips' idioms: per-lane cell math stays in
+// int32 registers with clamp-on-store, per-lane row minima fold in wide
+// integers, and a raw int16 shortcut between two lanes' cells is flagged.
+func batchStrip(cA, cB []int16, qA, qB int32, rowMinA int32) int32 {
+	a := sat16(qA + int32(cA[0]))
+	cA[0] = int16(a) // ok: narrowed ident was assigned from sat16
+
+	bad := cA[0] + cB[0] // want `raw int16 arithmetic`
+	_ = bad
+
+	b := qB + int32(cB[0])
+	if b > sat16Max {
+		b = sat16Max
+	}
+	if b < sat16Min {
+		b = sat16Min
+	}
+	cB[0] = int16(b) // ok: the register-resident inline clamp pair
+
+	// The shared-index fold stays in int32 registers — no 16-bit compute.
+	if a < rowMinA {
+		rowMinA = a
+	}
+	return rowMinA
+}

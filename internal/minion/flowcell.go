@@ -48,6 +48,27 @@ type FlowCellConfig struct {
 	// Seed drives the capture/read draws; identical seeds reproduce the
 	// run exactly.
 	Seed int64
+	// Coarse, when non-nil, adds a database-scale coarse tier to the
+	// keep-up verdict: every read that crosses the cascade's coarse
+	// prefix (or ends short of it) owes one coarse pass over the panel,
+	// priced by the cascade's service-time model and queued through the
+	// same deadline scheduler as the per-chunk stage tasks — so an
+	// overloaded coarse tier turns decisions late and breaks Sustained().
+	// Verdicts still come from the single-target pipeline: the coarse
+	// tier is modeled load under the keep-up verdict, not a second
+	// classifier (its survivor selection is exercised by the engine's own
+	// tests; here the question is whether the machine keeps up).
+	Coarse *engine.Cascade
+	// CoarseLanes batches coarse passes across reads: crossings pend
+	// until CoarseLanes of them accumulate (or the oldest has waited a
+	// full chunk period — a straggler flush, so a lull on other channels
+	// cannot starve a pending read), then one composite task carries the
+	// whole group's cost. Clamped to [1, sdtw.MaxBatchLanes]; zero means
+	// sequential (1). The composite cost is the sum of the members'
+	// per-read costs: batching amortizes dispatch, not DP cells (the
+	// interleaved kernel runs at par with the sequential one — the
+	// measured lane-scaling wall in EXPERIMENTS.md §roofline-revisited).
+	CoarseLanes int
 }
 
 // FlowCellResult reports a virtual-time run.
@@ -73,6 +94,10 @@ type FlowCellResult struct {
 	ReadsFull, ReadsEjected int
 	DurationSec             float64
 	ChunkPeriodSec          float64
+	// CoarsePasses counts completed coarse-tier tasks (each covering
+	// CoarseReads/CoarsePasses reads on average); CoarseLanes echoes the
+	// effective batch width. Zero when no cascade was configured.
+	CoarsePasses, CoarseReads, CoarseLanes int
 }
 
 // LateFraction is LateDecisions / Decisions (0 when no decisions).
@@ -133,6 +158,13 @@ type fcTag struct {
 	ch   int
 	gen  int
 	step stageStep
+}
+
+// fcCoarseTag marks a batched coarse-tier task: one pass covering the
+// panel for `reads` pending reads. Coarse completions feed the same
+// decision/lateness accounting as stage tasks but touch no pore state.
+type fcCoarseTag struct {
+	reads int
 }
 
 // flow-cell event kinds
@@ -209,6 +241,18 @@ func RunFlowCell(pipe *engine.Pipeline, cfg FlowCellConfig, src ReadSource) (Flo
 	duration := time.Duration(cfg.DurationSec * float64(time.Second))
 	spb := cfg.SamplesPerBase
 
+	coarseLanes := cfg.CoarseLanes
+	if coarseLanes < 1 {
+		coarseLanes = 1
+	}
+	if coarseLanes > sdtw.MaxBatchLanes {
+		coarseLanes = sdtw.MaxBatchLanes
+	}
+	var coarsePrefix int
+	if cfg.Coarse != nil {
+		coarsePrefix = cfg.Coarse.Config().CoarsePrefix
+	}
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	vs := sched.NewVirtual(servers)
 	chans := make([]fcChannel, cfg.Channels)
@@ -243,6 +287,44 @@ func RunFlowCell(pipe *engine.Pipeline, cfg FlowCellConfig, src ReadSource) (Flo
 		*h = append(*h, fcEvent{time: t, seq: seq, kind: kind, ch: ch, gen: gen})
 		seq++
 		up(*h, len(*h)-1)
+	}
+
+	// Pending coarse-tier crossings, flushed into one composite task when
+	// coarseLanes accumulate or the oldest has pended a full chunk period.
+	type coarseEntry struct {
+		release time.Duration
+		cost    time.Duration
+	}
+	var coarsePend []coarseEntry
+	flushCoarse := func(now time.Duration) {
+		if len(coarsePend) == 0 {
+			return
+		}
+		var cost time.Duration
+		for _, e := range coarsePend {
+			cost += e.cost
+		}
+		vs.Submit(sched.VTask{
+			Release:  now,
+			Deadline: now + chunkPeriod,
+			Cost:     cost,
+			Tag:      fcCoarseTag{reads: len(coarsePend)},
+		})
+		res.CoarseReads += len(coarsePend)
+		coarsePend = coarsePend[:0]
+	}
+	// crossCoarse records that a read's sequenced prefix crossed the
+	// cascade's coarse boundary (or the read ended short of it): it owes
+	// one coarse pass over the panel, priced on the evidence it buffered.
+	crossCoarse := func(readSamples int, now time.Duration) {
+		p := readSamples
+		if p > coarsePrefix {
+			p = coarsePrefix
+		}
+		coarsePend = append(coarsePend, coarseEntry{release: now, cost: cfg.Coarse.CoarseServiceTime(p)})
+		if len(coarsePend) >= coarseLanes {
+			flushCoarse(now)
+		}
 	}
 
 	// scheduleDelivery queues the channel's next chunk, or the exact read
@@ -285,6 +367,12 @@ func RunFlowCell(pipe *engine.Pipeline, cfg FlowCellConfig, src ReadSource) (Flo
 		}
 		lats = append(lats, comp.Latency().Seconds())
 		wats = append(wats, comp.Wait().Seconds())
+		if _, ok := comp.Tag.(fcCoarseTag); ok {
+			// A coarse pass landed: pure load accounting — a late one
+			// already counted against the keep-up verdict above.
+			res.CoarsePasses++
+			return
+		}
 		tag := comp.Tag.(fcTag)
 		c := &chans[tag.ch]
 		if tag.gen != c.gen || tag.step.decision != sdtw.Reject {
@@ -316,6 +404,12 @@ func RunFlowCell(pipe *engine.Pipeline, cfg FlowCellConfig, src ReadSource) (Flo
 		if ev.time > duration {
 			break
 		}
+		// Straggler flush: a pending coarse crossing never waits more than
+		// one chunk period for lanemates, so a lull on the other channels
+		// cannot starve a read's survivor decision.
+		if len(coarsePend) > 0 && ev.time-coarsePend[0].release >= chunkPeriod {
+			flushCoarse(ev.time)
+		}
 		for _, comp := range vs.AdvanceTo(ev.time) {
 			handleCompletion(comp)
 		}
@@ -338,12 +432,22 @@ func RunFlowCell(pipe *engine.Pipeline, cfg FlowCellConfig, src ReadSource) (Flo
 			scheduleDelivery(ev.ch)
 		case fcChunk:
 			c.chunks++
-			submitSteps(ev.ch, c.chunks*chunkSamples, ev.time)
+			sequenced := c.chunks * chunkSamples
+			if cfg.Coarse != nil && sequenced >= coarsePrefix && sequenced-chunkSamples < coarsePrefix {
+				crossCoarse(c.readSamples, ev.time)
+			}
+			submitSteps(ev.ch, sequenced, ev.time)
 			scheduleDelivery(ev.ch)
 		case fcReadEnd:
 			// The trailing partial chunk delivers at the exact end; any
 			// remaining stage (the final partial look) is classified, but
 			// its decision cannot eject a finished read.
+			if cfg.Coarse != nil && c.chunks*chunkSamples < coarsePrefix {
+				// The coarse boundary fell inside the trailing partial
+				// chunk, or the read ended short of it (the cascade's
+				// finalize-flush): either way the pass is owed now.
+				crossCoarse(c.readSamples, ev.time)
+			}
 			submitSteps(ev.ch, c.readSamples, ev.time)
 			if c.plan.Target {
 				res.TargetBases += int64(c.plan.LengthBases)
@@ -354,10 +458,16 @@ func RunFlowCell(pipe *engine.Pipeline, cfg FlowCellConfig, src ReadSource) (Flo
 			capture(ev.ch, ev.time)
 		}
 	}
+	// Crossings still pending at the end owe their pass regardless: flush
+	// so the work lands in the backlog accounting instead of vanishing.
+	flushCoarse(duration)
 	for _, comp := range vs.AdvanceTo(duration) {
 		handleCompletion(comp)
 	}
 	res.Backlog = vs.Pending()
+	if cfg.Coarse != nil {
+		res.CoarseLanes = coarseLanes
+	}
 	res.Latency = metrics.Summarize(lats)
 	res.Wait = metrics.Summarize(wats)
 	res.Utilization = vs.Busy().Seconds() / (cfg.DurationSec * float64(servers))

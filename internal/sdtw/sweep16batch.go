@@ -1,0 +1,453 @@
+package sdtw
+
+// The inter-read batched sweep: B independent 16-bit query recurrences
+// advanced through one pass over a shared reference strip. The single-
+// query kernels are ALU-bound, not bandwidth-bound (EXPERIMENTS.md
+// §roofline): one query exposes only its own row's cells per loaded
+// reference column, so batching lanes multiplies the independent work
+// per column — each ref[j] load feeds B recurrences — the same
+// restructuring that turns GEMV into GEMM in an inference stack. (The
+// measured lane-scaling table in EXPERIMENTS.md §roofline-revisited is
+// the honest account of how much of that win amd64's register file
+// lets a scalar Go kernel keep.)
+//
+// Interleaving is legal because lanes never share DP state: each lane
+// owns its Row16 and its query, the recurrence for lane b's row t reads
+// only lane b's row t-1, and the reference is read-only. The driver
+// below therefore commutes freely across lanes, and every lane's cell
+// stream is instruction-for-instruction the one ExtendShard16Bounded
+// would compute alone — bit-identity is by construction, and
+// TestBatchLaneIdentity locks it over ragged lane mixes, mid-sweep
+// refills, and saturation frontiers (DESIGN.md §12).
+//
+// Lanes are ragged: queries differ in length and each lane carries its
+// own early-abandon cut (sweep16bounded.go's futureDrop16 bound against
+// a per-lane atomic), so lanes retire at different rows. A retired lane
+// hands its BoundedResult to the caller's feed hook, which may refill
+// the slot with a fresh query — the driver regroups the survivors every
+// round, falling from the 4-lane strip to the 2-lane strip to the
+// single-lane sweepRowBest16 as width shrinks, so a batch drains at
+// full width for as long as the work allows.
+//
+// The interleaved strips track only each lane's row minimum — the one
+// value the early-abandon bound reads on interior rows. The end
+// position matters only on a lane's final row, where the driver
+// recovers the full result with a scanBest16 over the stored row: both
+// track the earliest strict minimum, so the recovered (cost, pos) pair
+// is exactly the merged column-0/strip result the single-lane driver
+// builds inline. Keeping positions out of the strips frees two
+// registers per lane, which the lane-interleaved inner loops need far
+// more than the sweep-shaped ones do.
+
+import "sync/atomic"
+
+// MaxBatchLanes is the widest interleave ExtendShard16Batch runs: four
+// independent recurrences is where amd64's register file runs out (the
+// lane-scaling table in EXPERIMENTS.md measures the wall).
+const MaxBatchLanes = 4
+
+// Lane16 is one query's slot in a batched sweep. The caller provides
+// Query, a cleared boundary Row sized to the reference, and an optional
+// per-lane Cut (nil never prunes); the driver fills Res — bit-identical
+// to ExtendShard16Bounded(Row, Query, ref, cfg, Cut) — at retirement,
+// which is the only time feed sees the lane back. A refilled Lane16 may
+// be the same struct with Row reset and a new Query; the driver re-arms
+// its cursor on admission.
+type Lane16 struct {
+	Query []int8
+	Row   *Row16
+	Cut   *atomic.Int64
+	Res   BoundedResult
+
+	t int // current row (query sample) cursor
+}
+
+// batchLane is the strip-level view of one lane's row: the packed row
+// slices and the per-row scalars the driver resolved (query sample,
+// previous row's column-0 state), plus the strip's running minimum of
+// the stored cells over columns [1, m).
+type batchLane struct {
+	cost     []int16
+	run      []int8
+	q        int32
+	diagCost int32
+	diagRun  int32
+	c0       int32
+	rowMin   int32
+}
+
+// ExtendShard16Batch is the ExtendShard16xB driver: it pulls lanes from
+// feed and advances up to width of them (clamped to [1, MaxBatchLanes])
+// through refShard one row per lane per round, interleaving the rows of
+// a round through the widest sweep strip the live lane count allows.
+//
+// feed is called with nil to fill the initial slots and with each
+// retired lane (Res complete: the exact extension result, or a
+// certified prune against the lane's Cut) exactly once thereafter; each
+// call returns the next lane to score or nil when no work remains. The
+// driver returns when every admitted lane has retired. Degenerate lanes
+// (empty reference, empty query) retire on admission with the same
+// results ExtendShard16Bounded gives them. Every lane's Row must be
+// sized to refShard, as in ExtendShard16Bounded.
+func ExtendShard16Batch(width int, refShard []int8, cfg IntConfig, feed func(retired *Lane16) *Lane16) {
+	if width < 1 {
+		width = 1
+	}
+	if width > MaxBatchLanes {
+		width = MaxBatchLanes
+	}
+	m := len(refShard)
+	bonus, cap_ := bonusTerms16(cfg)
+	one := boolToInt32(cap_ > 0)
+	base, slope := futureDrop16(bonus, cap_)
+
+	// admit pulls the next lane, retiring degenerate ones inline so the
+	// round loop below only ever sees lanes with rows to sweep.
+	admit := func(retired *Lane16) *Lane16 {
+		for {
+			l := feed(retired)
+			if l == nil {
+				return nil
+			}
+			if l.Row.Len() != m {
+				panic("sdtw: batch lane row/reference length mismatch")
+			}
+			l.t = 0
+			l.Res = BoundedResult{}
+			if m == 0 {
+				l.Res = BoundedResult{IntResult: IntResult{EndPos: -1}}
+				retired = l
+				continue
+			}
+			if len(l.Query) == 0 {
+				l.Res = BoundedResult{IntResult: scanBest16(l.Row.Cost[:m])}
+				retired = l
+				continue
+			}
+			return l
+		}
+	}
+
+	var (
+		lnArr [MaxBatchLanes]*Lane16
+		blArr [MaxBatchLanes]batchLane
+	)
+	ln, bl := lnArr[:], blArr[:]
+	active := 0
+	for active < width {
+		l := admit(nil)
+		if l == nil {
+			break
+		}
+		ln[active] = l
+		active++
+	}
+	if active == 0 || m == 0 {
+		return
+	}
+	ref := refShard[:m]
+	for active > 0 {
+		lanes, rows := ln[:active], bl[:active]
+		// Column 0 for every live lane, capturing the previous row's
+		// column-0 state before the overwrite — exactly the inline
+		// prologue of ExtendShard16Bounded, once per lane. Row views are
+		// pinned to the reference length m >= 1, the cursor sits behind
+		// one unsigned guard, and the lane arrays are walked through
+		// equal-length reslices — the forms the prove pass eliminates
+		// the per-lane checks for.
+		for i := range lanes {
+			l, b := lanes[i], &rows[i]
+			cost, run := l.Row.Cost[:m], l.Row.Run[:m]
+			qs, tt := l.Query, l.t
+			if uint(tt) >= uint(len(qs)) {
+				panic("sdtw: batch lane cursor out of range")
+			}
+			q := int32(qs[tt])
+			diagCost, diagRun := int32(cost[0]), int32(run[0])
+			d := q - int32(ref[0])
+			if d < 0 {
+				d = -d
+			}
+			c0 := sat16(diagCost + d)
+			cost[0] = int16(c0)
+			if diagRun < cap_ {
+				run[0] = int8(diagRun + 1)
+			}
+			b.cost, b.run = cost, run
+			b.q, b.diagCost, b.diagRun, b.c0 = q, diagCost, diagRun, c0
+		}
+		// Columns [1, m) in the widest strips the live count allows.
+		rem := rows
+		for len(rem) >= 4 {
+			sweepRowMin16x4(&rem[0], &rem[1], &rem[2], &rem[3], ref, bonus, cap_, one)
+			rem = rem[4:]
+		}
+		for len(rem) >= 2 {
+			sweepRowMin16x2(&rem[0], &rem[1], ref, bonus, cap_, one)
+			rem = rem[2:]
+		}
+		for len(rem) > 0 {
+			b := &rem[0]
+			b.rowMin, _ = sweepRowBest16(b.cost, b.run, ref, b.q, b.diagCost, b.diagRun, bonus, cap_, one)
+			rem = rem[1:]
+		}
+		// Merge column 0 into the row minimum, then retire finished and
+		// bound-abandoned lanes, refilling their slots.
+		out := 0
+		for i := range lanes {
+			l, b := lanes[i], &rows[i]
+			rowMin := b.c0
+			if b.rowMin < rowMin {
+				rowMin = b.rowMin
+			}
+			n := len(l.Query)
+			retired := false
+			if l.t == n-1 {
+				// scanBest16 keeps the earliest strict minimum, column 0
+				// first — the same (cost, pos) the single-lane driver's
+				// c0-wins-ties merge of sweepRowBest16 produces.
+				l.Row.Samples += n
+				l.Res = BoundedResult{IntResult: scanBest16(b.cost), Samples: n}
+				retired = true
+			} else if l.Cut != nil {
+				// Same int64 bound arithmetic as ExtendShard16Bounded, so
+				// a lane prunes on exactly the rows it would prune alone
+				// (under the same cut history).
+				if remaining := int64(n - 1 - l.t); int64(rowMin)-base-slope*remaining > l.Cut.Load() {
+					l.Row.Samples += l.t + 1
+					l.Res = BoundedResult{
+						IntResult: IntResult{EndPos: -1},
+						Pruned:    true,
+						Samples:   l.t + 1,
+					}
+					retired = true
+				}
+			}
+			next := l
+			if retired {
+				next = admit(l)
+			} else {
+				l.t++
+			}
+			if next != nil {
+				if uint(out) >= uint(len(lanes)) {
+					panic("sdtw: batch lane compaction out of range")
+				}
+				lanes[out] = next
+				out++
+			}
+		}
+		active = out
+	}
+}
+
+// sweepRowMin16x2 advances one row of two lanes across columns [1, m)
+// of the shared reference, writing each lane's stored-cell minimum back
+// into its batchLane. The per-cell math is sweepRowBest16's exactly —
+// branchless abs, min/tie with diag winning ties, saturating clamp on
+// the store — issued for both lanes per loaded reference column. The
+// entry reslices pin every lane slice to the reference's length and the
+// loop advances all five in lockstep — the slice-advance form the prove
+// pass eliminates every per-cell bounds check for (scripts/check_bce.sh
+// audits this file alongside the single-lane strips).
+func sweepRowMin16x2(l0, l1 *batchLane, ref []int8, bonus, cap_, one int32) {
+	const none = int32(1<<31 - 1)
+	m := len(ref)
+	l0.rowMin, l1.rowMin = none, none
+	if m < 2 {
+		return
+	}
+	ref = ref[1:m]
+	c0s, r0s := l0.cost[1:m], l0.run[1:m]
+	c1s, r1s := l1.cost[1:m], l1.run[1:m]
+	q0, dc0, dr0, b0 := l0.q, l0.diagCost, l0.diagRun, none
+	q1, dc1, dr1, b1 := l1.q, l1.diagCost, l1.diagRun, none
+	for j := 0; j < len(ref) && j < len(c0s) && j < len(r0s) && j < len(c1s) && j < len(r1s); j++ {
+		rj := int32(ref[j])
+
+		vc0, vr0 := int32(c0s[j]), int32(r0s[j])
+		d0 := q0 - rj
+		s0 := d0 >> 31
+		d0 = (d0 ^ s0) - s0
+		diag0 := dc0 - bonus*dr0
+		nr0 := vr0 + 1
+		if nr0 > cap_ {
+			nr0 = cap_
+		}
+		cc0, rr0 := vc0, nr0
+		if diag0 <= vc0 {
+			cc0, rr0 = diag0, one
+		}
+		nc0 := d0 + cc0
+		if nc0 > sat16Max {
+			nc0 = sat16Max
+		}
+		if nc0 < sat16Min {
+			nc0 = sat16Min
+		}
+		c0s[j], r0s[j] = int16(nc0), int8(rr0)
+		if nc0 < b0 {
+			b0 = nc0
+		}
+		dc0, dr0 = vc0, vr0
+
+		vc1, vr1 := int32(c1s[j]), int32(r1s[j])
+		d1 := q1 - rj
+		s1 := d1 >> 31
+		d1 = (d1 ^ s1) - s1
+		diag1 := dc1 - bonus*dr1
+		nr1 := vr1 + 1
+		if nr1 > cap_ {
+			nr1 = cap_
+		}
+		cc1, rr1 := vc1, nr1
+		if diag1 <= vc1 {
+			cc1, rr1 = diag1, one
+		}
+		nc1 := d1 + cc1
+		if nc1 > sat16Max {
+			nc1 = sat16Max
+		}
+		if nc1 < sat16Min {
+			nc1 = sat16Min
+		}
+		c1s[j], r1s[j] = int16(nc1), int8(rr1)
+		if nc1 < b1 {
+			b1 = nc1
+		}
+		dc1, dr1 = vc1, vr1
+	}
+	l0.rowMin, l1.rowMin = b0, b1
+}
+
+// sweepRowMin16x4 is sweepRowMin16x2 at full width: four independent
+// recurrences per loaded reference column. Four lanes' working state
+// presses amd64's register file hard — the honest lane-scaling table in
+// EXPERIMENTS.md is measured, not assumed.
+func sweepRowMin16x4(l0, l1, l2, l3 *batchLane, ref []int8, bonus, cap_, one int32) {
+	const none = int32(1<<31 - 1)
+	m := len(ref)
+	l0.rowMin, l1.rowMin, l2.rowMin, l3.rowMin = none, none, none, none
+	if m < 2 {
+		return
+	}
+	ref = ref[1:m]
+	c0s, r0s := l0.cost[1:m], l0.run[1:m]
+	c1s, r1s := l1.cost[1:m], l1.run[1:m]
+	c2s, r2s := l2.cost[1:m], l2.run[1:m]
+	c3s, r3s := l3.cost[1:m], l3.run[1:m]
+	q0, dc0, dr0, b0 := l0.q, l0.diagCost, l0.diagRun, none
+	q1, dc1, dr1, b1 := l1.q, l1.diagCost, l1.diagRun, none
+	q2, dc2, dr2, b2 := l2.q, l2.diagCost, l2.diagRun, none
+	q3, dc3, dr3, b3 := l3.q, l3.diagCost, l3.diagRun, none
+	for j := 0; j < len(ref) && j < len(c0s) && j < len(r0s) && j < len(c1s) && j < len(r1s) &&
+		j < len(c2s) && j < len(r2s) && j < len(c3s) && j < len(r3s); j++ {
+		rj := int32(ref[j])
+
+		vc0, vr0 := int32(c0s[j]), int32(r0s[j])
+		d0 := q0 - rj
+		s0 := d0 >> 31
+		d0 = (d0 ^ s0) - s0
+		diag0 := dc0 - bonus*dr0
+		nr0 := vr0 + 1
+		if nr0 > cap_ {
+			nr0 = cap_
+		}
+		cc0, rr0 := vc0, nr0
+		if diag0 <= vc0 {
+			cc0, rr0 = diag0, one
+		}
+		nc0 := d0 + cc0
+		if nc0 > sat16Max {
+			nc0 = sat16Max
+		}
+		if nc0 < sat16Min {
+			nc0 = sat16Min
+		}
+		c0s[j], r0s[j] = int16(nc0), int8(rr0)
+		if nc0 < b0 {
+			b0 = nc0
+		}
+		dc0, dr0 = vc0, vr0
+
+		vc1, vr1 := int32(c1s[j]), int32(r1s[j])
+		d1 := q1 - rj
+		s1 := d1 >> 31
+		d1 = (d1 ^ s1) - s1
+		diag1 := dc1 - bonus*dr1
+		nr1 := vr1 + 1
+		if nr1 > cap_ {
+			nr1 = cap_
+		}
+		cc1, rr1 := vc1, nr1
+		if diag1 <= vc1 {
+			cc1, rr1 = diag1, one
+		}
+		nc1 := d1 + cc1
+		if nc1 > sat16Max {
+			nc1 = sat16Max
+		}
+		if nc1 < sat16Min {
+			nc1 = sat16Min
+		}
+		c1s[j], r1s[j] = int16(nc1), int8(rr1)
+		if nc1 < b1 {
+			b1 = nc1
+		}
+		dc1, dr1 = vc1, vr1
+
+		vc2, vr2 := int32(c2s[j]), int32(r2s[j])
+		d2 := q2 - rj
+		s2 := d2 >> 31
+		d2 = (d2 ^ s2) - s2
+		diag2 := dc2 - bonus*dr2
+		nr2 := vr2 + 1
+		if nr2 > cap_ {
+			nr2 = cap_
+		}
+		cc2, rr2 := vc2, nr2
+		if diag2 <= vc2 {
+			cc2, rr2 = diag2, one
+		}
+		nc2 := d2 + cc2
+		if nc2 > sat16Max {
+			nc2 = sat16Max
+		}
+		if nc2 < sat16Min {
+			nc2 = sat16Min
+		}
+		c2s[j], r2s[j] = int16(nc2), int8(rr2)
+		if nc2 < b2 {
+			b2 = nc2
+		}
+		dc2, dr2 = vc2, vr2
+
+		vc3, vr3 := int32(c3s[j]), int32(r3s[j])
+		d3 := q3 - rj
+		s3 := d3 >> 31
+		d3 = (d3 ^ s3) - s3
+		diag3 := dc3 - bonus*dr3
+		nr3 := vr3 + 1
+		if nr3 > cap_ {
+			nr3 = cap_
+		}
+		cc3, rr3 := vc3, nr3
+		if diag3 <= vc3 {
+			cc3, rr3 = diag3, one
+		}
+		nc3 := d3 + cc3
+		if nc3 > sat16Max {
+			nc3 = sat16Max
+		}
+		if nc3 < sat16Min {
+			nc3 = sat16Min
+		}
+		c3s[j], r3s[j] = int16(nc3), int8(rr3)
+		if nc3 < b3 {
+			b3 = nc3
+		}
+		dc3, dr3 = vc3, vr3
+	}
+	l0.rowMin, l1.rowMin = b0, b1
+	l2.rowMin, l3.rowMin = b2, b3
+}

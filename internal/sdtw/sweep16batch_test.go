@@ -1,0 +1,285 @@
+package sdtw
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// batchFeed serves a fixed queue of lanes in order and collects every
+// retired lane, so a test can assert the driver handed each one back
+// exactly once with its result complete.
+type batchFeed struct {
+	queue   []*Lane16
+	next    int
+	retired []*Lane16
+}
+
+func (f *batchFeed) feed(retired *Lane16) *Lane16 {
+	if retired != nil {
+		f.retired = append(f.retired, retired)
+	}
+	if f.next >= len(f.queue) {
+		return nil
+	}
+	l := f.queue[f.next]
+	f.next++
+	return l
+}
+
+// checkBatchLaneIdentity runs the queued lanes through the batch driver
+// at the given width and asserts every lane's result, stored row, and
+// sample count are bit-identical to ExtendShard16Bounded run alone on
+// the same inputs (fresh row, same static cut). Static cuts make the
+// sequential reference exact: a fixed cut value removes the only
+// timing-dependent input the bounded sweep reads.
+func checkBatchLaneIdentity(t *testing.T, trial, width int, ref []int8, cfg IntConfig, queue []*Lane16) {
+	t.Helper()
+	f := &batchFeed{queue: queue}
+	ExtendShard16Batch(width, ref, cfg, f.feed)
+	if len(f.retired) != len(queue) {
+		t.Fatalf("trial %d: %d of %d lanes retired", trial, len(f.retired), len(queue))
+	}
+	seen := map[*Lane16]bool{}
+	for _, l := range f.retired {
+		if seen[l] {
+			t.Fatalf("trial %d: lane retired twice", trial)
+		}
+		seen[l] = true
+	}
+	for b, l := range queue {
+		want := NewRow16(len(ref))
+		wantRes := ExtendShard16Bounded(want, l.Query, ref, cfg, l.Cut)
+		if l.Res != wantRes {
+			t.Fatalf("trial %d lane %d (n=%d): batch %+v != alone %+v",
+				trial, b, len(l.Query), l.Res, wantRes)
+		}
+		if l.Row.Samples != want.Samples {
+			t.Fatalf("trial %d lane %d: batch consumed %d samples, alone %d",
+				trial, b, l.Row.Samples, want.Samples)
+		}
+		for j := range want.Cost {
+			if l.Row.Cost[j] != want.Cost[j] || l.Row.Run[j] != want.Run[j] {
+				t.Fatalf("trial %d lane %d col %d: batch cell (%d,%d) != alone (%d,%d)",
+					trial, b, j, l.Row.Cost[j], l.Row.Run[j], want.Cost[j], want.Run[j])
+			}
+		}
+	}
+}
+
+// TestBatchLaneIdentity is the tentpole property: over random lane
+// mixes — ragged query lengths (so short lanes retire and their slots
+// refill mid-sweep), per-lane static cuts (nil, generous, tight), every
+// width including a queue deeper than the lane set — each lane's output
+// is bit-identical to ExtendShard16Bounded run alone.
+func TestBatchLaneIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 400; trial++ {
+		cfg := boundedCfgs()[trial%len(boundedCfgs())]
+		m := 1 + rng.Intn(60)
+		ref := randSignal16(rng, m)
+		width := 1 + rng.Intn(MaxBatchLanes)
+		nLanes := rng.Intn(3 * MaxBatchLanes)
+		queue := make([]*Lane16, nLanes)
+		for b := range queue {
+			n := rng.Intn(50)
+			var cut *atomic.Int64
+			switch rng.Intn(4) {
+			case 0: // nil: never prunes, delegation path
+			case 1:
+				cut = staticCut(math.MaxInt64) // armed but unseeded
+			case 2:
+				cut = staticCut(int64(rng.Intn(4000))) // plausibly tight
+			case 3:
+				cut = staticCut(int64(rng.Intn(200)) - 100) // brutal
+			}
+			queue[b] = &Lane16{Query: randSignal16(rng, n), Row: NewRow16(m), Cut: cut}
+		}
+		checkBatchLaneIdentity(t, trial, width, ref, cfg, queue)
+	}
+}
+
+// TestBatchLaneIdentitySaturation drives lanes across the int16
+// saturation frontier — long queries over maximally distant signals pin
+// stored costs at sat16Max — and asserts identity still holds cell for
+// cell: the clamp is part of the per-cell math both drivers share.
+func TestBatchLaneIdentitySaturation(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 40; trial++ {
+		cfg := boundedCfgs()[trial%len(boundedCfgs())]
+		m := 1 + rng.Intn(40)
+		ref := make([]int8, m)
+		for j := range ref {
+			ref[j] = -127
+		}
+		queue := make([]*Lane16, 1+rng.Intn(6))
+		for b := range queue {
+			n := 150 + rng.Intn(250) // 150+ rows at distance ~255 saturate
+			q := make([]int8, n)
+			for i := range q {
+				q[i] = 127
+				if rng.Intn(8) == 0 {
+					q[i] = int8(rng.Intn(255) - 127) // ragged frontier
+				}
+			}
+			var cut *atomic.Int64
+			if rng.Intn(2) == 0 {
+				cut = staticCut(int64(rng.Intn(100000)))
+			}
+			queue[b] = &Lane16{Query: q, Row: NewRow16(m), Cut: cut}
+		}
+		checkBatchLaneIdentity(t, trial, 1+rng.Intn(MaxBatchLanes), ref, cfg, queue)
+	}
+}
+
+// TestBatchDegenerateLanes covers the retire-on-admission paths: empty
+// queries (scanBest16 of the boundary row), an empty reference (every
+// lane reports EndPos -1), an empty feed, and out-of-range widths
+// clamping instead of panicking.
+func TestBatchDegenerateLanes(t *testing.T) {
+	cfg := DefaultIntConfig()
+	rng := rand.New(rand.NewSource(113))
+	ref := randSignal16(rng, 8)
+	queue := []*Lane16{
+		{Query: nil, Row: NewRow16(8)},
+		{Query: randSignal16(rng, 9), Row: NewRow16(8), Cut: staticCut(0)},
+		{Query: nil, Row: NewRow16(8), Cut: staticCut(math.MaxInt64)},
+	}
+	checkBatchLaneIdentity(t, 0, 99, ref, cfg, queue)
+
+	empty := []*Lane16{
+		{Query: randSignal16(rng, 5), Row: NewRow16(0)},
+		{Query: nil, Row: NewRow16(0), Cut: staticCut(1)},
+	}
+	checkBatchLaneIdentity(t, 1, -3, nil, cfg, empty)
+
+	f := &batchFeed{}
+	ExtendShard16Batch(2, ref, cfg, f.feed)
+	if len(f.retired) != 0 {
+		t.Fatalf("empty feed retired %d lanes", len(f.retired))
+	}
+}
+
+// TestBatchRowMismatchPanics pins the same misuse guard the single-lane
+// sweeps carry: a lane whose row is not sized to the reference panics
+// rather than corrupting a neighbour lane's state.
+func TestBatchRowMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lane row did not panic")
+		}
+	}()
+	rng := rand.New(rand.NewSource(127))
+	ref := randSignal16(rng, 8)
+	f := &batchFeed{queue: []*Lane16{{Query: randSignal16(rng, 4), Row: NewRow16(7)}}}
+	ExtendShard16Batch(2, ref, DefaultIntConfig(), f.feed)
+}
+
+// TestBatchSharedCutAdmissible mirrors TestBounded16Admissibility for
+// the batch driver under a live, concurrently tightening cut — the
+// cascade's actual regime, where lanes of one hypothesis share a cut
+// that only ever decreases as results complete. Unpruned lanes must be
+// bit-identical to the unbounded kernel; pruned lanes' exact cost must
+// exceed the final (tightest) cut, because the bound fired against a
+// value at least that large.
+func TestBatchSharedCutAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	prunedLanes := 0
+	for trial := 0; trial < 300; trial++ {
+		cfg := boundedCfgs()[trial%len(boundedCfgs())]
+		m := 1 + rng.Intn(50)
+		ref := randSignal16(rng, m)
+		margin := int64(rng.Intn(300))
+		cut := staticCut(math.MaxInt64)
+		nLanes := 2 + rng.Intn(10)
+		queue := make([]*Lane16, nLanes)
+		for b := range queue {
+			queue[b] = &Lane16{Query: randSignal16(rng, 1+rng.Intn(40)), Row: NewRow16(m), Cut: cut}
+		}
+		f := &batchFeed{queue: queue}
+		ExtendShard16Batch(1+rng.Intn(MaxBatchLanes), ref, cfg, func(retired *Lane16) *Lane16 {
+			if retired != nil && !retired.Res.Pruned {
+				// Tighten exactly as the cascade's tracker would with k=1.
+				if c := int64(retired.Res.Cost) + margin; c < cut.Load() {
+					cut.Store(c)
+				}
+			}
+			return f.feed(retired)
+		})
+		final := cut.Load()
+		for b, l := range queue {
+			exact := IntDP16(l.Query, ref, cfg)
+			if l.Res.Pruned {
+				prunedLanes++
+				if int64(exact.Cost) <= final {
+					t.Fatalf("trial %d lane %d: pruned but exact cost %d <= final cut %d",
+						trial, b, exact.Cost, final)
+				}
+			} else if l.Res.IntResult != exact {
+				t.Fatalf("trial %d lane %d: unpruned result %+v != exact %+v",
+					trial, b, l.Res.IntResult, exact)
+			}
+		}
+	}
+	if prunedLanes == 0 {
+		t.Fatal("no lane ever pruned; the shared-cut trials exercised nothing")
+	}
+}
+
+// BenchmarkBatchSweep measures the interleaved strips at the coarse
+// tier's shape (a ~750-column decimated reference, ~94-sample decimated
+// queries) against the single-lane bounded sweep — the kernel-level
+// numerator of the lane-scaling table in EXPERIMENTS.md. lanes=0 is the
+// sequential ExtendShard16Bounded baseline; lanes=N runs the batch
+// driver at width N over the same 16-query workload.
+func BenchmarkBatchSweep(b *testing.B) {
+	const (
+		m       = 750
+		n       = 94
+		queries = 16
+	)
+	rng := rand.New(rand.NewSource(137))
+	cfg := DefaultIntConfig()
+	ref := randSignal16(rng, m)
+	qs := make([][]int8, queries)
+	for i := range qs {
+		qs[i] = randSignal16(rng, n)
+	}
+	rows := make([]*Row16, queries)
+	for i := range rows {
+		rows[i] = NewRow16(m)
+	}
+	cells := float64(queries) * float64(n) * float64(m)
+	b.Run("lanes=0-sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range qs {
+				rows[j].Reset()
+				ExtendShard16Bounded(rows[j], qs[j], ref, cfg, nil)
+			}
+		}
+		b.ReportMetric(cells*float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
+	})
+	for _, lanes := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			b.ReportAllocs()
+			lns := make([]Lane16, queries)
+			for i := 0; i < b.N; i++ {
+				next := 0
+				ExtendShard16Batch(lanes, ref, cfg, func(_ *Lane16) *Lane16 {
+					if next >= queries {
+						return nil
+					}
+					rows[next].Reset()
+					lns[next] = Lane16{Query: qs[next], Row: rows[next]}
+					l := &lns[next]
+					next++
+					return l
+				})
+			}
+			b.ReportMetric(cells*float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
+		})
+	}
+}
